@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures (in
+fast mode) and prints the resulting series so the run log doubles as a
+reproduction record.  ``--benchmark-only`` selects just these.
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(function, *args, **kwargs):
+        return run_once(benchmark, function, *args, **kwargs)
+
+    return runner

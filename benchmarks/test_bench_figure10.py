@@ -1,0 +1,36 @@
+"""Figure 10: CTMC mean response time vs MPL for C^2 in {2,5,10,15}.
+
+Paper: at load 0.7 the C^2 <= 2 curves are flat by MPL ~5 while
+C^2 = 15 needs MPL ~10; at load 0.9 C^2 = 15 needs MPL ~30; all curves
+approach the C^2-insensitive PS line from above.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure10
+
+
+def test_figure10(once):
+    panels = once(figure10)
+    for panel in panels:
+        print()
+        print(panel.render())
+    load07, load09 = panels
+
+    def series(panel, label):
+        return next(s.ys for s in panel.series if s.label == label)
+
+    ps07 = series(load07, "PS")[0]
+    c2_15 = series(load07, "C2=15")
+    c2_2 = series(load07, "C2=2")
+    mpls = list(load07.xs)
+    # C2=2 within 10% of PS by MPL 5
+    assert c2_2[mpls.index(5.0)] <= 1.1 * ps07
+    # C2=15 still far off at MPL 5 but within 15% by MPL 15
+    assert c2_15[mpls.index(5.0)] > 1.5 * ps07
+    assert c2_15[mpls.index(15.0)] <= 1.15 * ps07
+    # at load 0.9 the same C2=15 curve needs ~30
+    ps09 = series(load09, "PS")[0]
+    c2_15_hi = series(load09, "C2=15")
+    assert c2_15_hi[mpls.index(15.0)] > 1.2 * ps09
+    assert c2_15_hi[mpls.index(30.0)] <= 1.3 * ps09

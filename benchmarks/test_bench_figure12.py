@@ -1,0 +1,22 @@
+"""Figure 12: internal (POW lock scheduling) vs external, setup 1.
+
+Paper: external scheduling at a tuned MPL differentiates about as well
+as POW; low-priority suffering is comparable.
+"""
+
+from repro.experiments.figures import figure12
+
+
+def test_figure12(once):
+    panels = once(figure12, fast=True)
+    panel = panels[0]
+    print()
+    print(panel.render())
+    highs, lows, _means = (s.ys for s in panel.series)
+    # columns: internal, ext95, ext80, ext100
+    internal_diff = lows[0] / highs[0]
+    ext95_diff = lows[1] / highs[1]
+    assert internal_diff > 1.5
+    assert ext95_diff > 1.5
+    # same ballpark (the paper's conclusion)
+    assert 0.2 < ext95_diff / internal_diff < 30.0

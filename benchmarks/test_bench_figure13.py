@@ -1,0 +1,19 @@
+"""Figure 13: internal (CPU priorities / renice) vs external, setup 3.
+
+Paper: on the CPU-bound workload, weighted-CPU internal prioritization
+and external scheduling at a tuned MPL give comparable differentiation.
+"""
+
+from repro.experiments.figures import figure13
+
+
+def test_figure13(once):
+    panels = once(figure13, fast=True)
+    panel = panels[0]
+    print()
+    print(panel.render())
+    highs, lows, _means = (s.ys for s in panel.series)
+    internal_diff = lows[0] / highs[0]
+    ext_diffs = [l / h for h, l in zip(highs[1:], lows[1:]) if h > 0]
+    assert internal_diff > 1.5
+    assert max(ext_diffs) > 1.5

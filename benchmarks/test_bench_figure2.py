@@ -1,0 +1,20 @@
+"""Figure 2: throughput vs MPL for the CPU-bound workloads.
+
+Paper: 1 CPU saturates near MPL 5; 2 CPUs need MPL ~7-10; maxima
+around 65/130 tx/s (TPC-C) and 9.5/19 tx/s (TPC-W browsing).
+"""
+
+from repro.experiments.figures import figure2
+
+
+def test_figure2(once):
+    panels = once(figure2, fast=True)
+    for panel in panels:
+        print()
+        print(panel.render())
+    panel_a = panels[0]
+    one_cpu, two_cpu = panel_a.series
+    assert two_cpu.ys[-1] > 1.5 * one_cpu.ys[-1]
+    # one CPU reaches >=90% of its max by MPL 5 (xs index 3)
+    mpl5_index = panel_a.xs.index(5.0)
+    assert one_cpu.ys[mpl5_index] >= 0.9 * max(one_cpu.ys)

@@ -1,0 +1,24 @@
+"""Figure 3: throughput vs MPL for the I/O-bound workloads.
+
+Paper: max-throughput MPL grows roughly linearly with the disk count
+(1 disk -> ~2, 4 disks -> ~10); W_IO-browsing needs a higher MPL than
+W_IO-inventory because of its CPU component.
+"""
+
+from repro.experiments.figures import figure3
+
+
+def test_figure3(once):
+    panels = once(figure3, fast=True)
+    for panel in panels:
+        print()
+        print(panel.render())
+    inventory = panels[0]
+    one_disk = inventory.series[0]
+    four_disks = inventory.series[3]
+    # scaling: 4 disks deliver well over 2x the 1-disk max
+    assert max(four_disks.ys) > 2.5 * max(one_disk.ys)
+    # 1 disk is nearly saturated by MPL 2; 4 disks are not
+    mpl2 = inventory.xs.index(2.0)
+    assert one_disk.ys[mpl2] >= 0.85 * max(one_disk.ys)
+    assert four_disks.ys[mpl2] < 0.7 * max(four_disks.ys)

@@ -1,0 +1,21 @@
+"""Figure 4: throughput vs MPL for the balanced CPU+I/O workload.
+
+Paper: 1 disk + 1 CPU saturates by MPL ~5; 4 disks + 2 CPUs keep
+gaining until MPL ~20 (more utilized resources -> higher MPL).
+"""
+
+from repro.experiments.figures import figure4
+
+
+def test_figure4(once):
+    panels = once(figure4, fast=True)
+    panel = panels[0]
+    print()
+    print(panel.render())
+    small, big = panel.series
+    mpl5 = panel.xs.index(5.0)
+    mpl20 = panel.xs.index(20.0)
+    # small machine ~saturated at MPL 5
+    assert small.ys[mpl5] >= 0.85 * max(small.ys)
+    # big machine still gaining between 5 and 20
+    assert big.ys[mpl20] > 1.2 * big.ys[mpl5]

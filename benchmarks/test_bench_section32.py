@@ -1,0 +1,22 @@
+"""§3.2: open-system mean response time vs MPL.
+
+Paper: TPC-C (C^2 ~= 1.3) is insensitive to the MPL once >= 4; TPC-W
+(C^2 ~= 15) needs MPL >= 8 at 70% load and >= 15 at 90% load.
+"""
+
+from repro.experiments.figures import section32_response_time
+
+
+def test_section32(once):
+    panels = once(section32_response_time, fast=True)
+    for panel in panels:
+        print()
+        print(panel.render())
+    tpcc, tpcw = panels
+    # TPC-C at load 0.7: response time at MPL 4 within 40% of MPL 30
+    mpl4 = tpcc.xs.index(4.0)
+    load70 = tpcc.series[0]
+    assert load70.ys[mpl4] <= 1.4 * load70.ys[-1]
+    # TPC-W at load 0.7: MPL 1 is much worse than MPL 30 (HOL blocking)
+    tpcw70 = tpcw.series[0]
+    assert tpcw70.ys[0] > 1.5 * tpcw70.ys[-1]

@@ -1,0 +1,41 @@
+"""Quickstart: external scheduling with an MPL on a TPC-C-like system.
+
+Runs Table 2's setup 1 (the CPU-bound TPC-C workload on one CPU and
+one disk) at several multiprogramming limits and shows the paper's
+core trade-off: a low MPL barely costs throughput, while leaving most
+transactions in the externally schedulable queue.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import SimulatedSystem, SystemConfig, get_setup
+
+
+def main() -> None:
+    setup = get_setup(1)
+    print(f"Running {setup.describe()}")
+    print(f"{'MPL':>9} | {'throughput':>10} | {'mean RT':>8} | {'ext. queue wait':>15}")
+    print("-" * 55)
+    for mpl in (1, 2, 5, 10, 20, None):
+        config = SystemConfig(
+            workload=setup.workload,
+            hardware=setup.hardware,
+            isolation=setup.isolation,
+            mpl=mpl,
+            seed=42,
+        )
+        result = SimulatedSystem(config).run(transactions=1500)
+        label = "unlimited" if mpl is None else str(mpl)
+        print(
+            f"{label:>9} | {result.throughput:7.1f}/s | "
+            f"{result.mean_response_time:6.2f} s | "
+            f"{result.mean_external_wait:13.2f} s"
+        )
+    print()
+    print("An MPL of ~5 already delivers near-maximal throughput while")
+    print("keeping ~95 of the 100 clients in the external queue, where a")
+    print("scheduler can reorder them at will (the point of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — reproduction of Schroeder et al., ICDE 2006.
+
+*How to determine a good multi-programming level for external
+scheduling.*
+
+The package implements external scheduling of database transactions
+with an automatically tuned multi-programming limit (MPL):
+
+* a discrete-event simulated DBMS (:mod:`repro.dbms`) standing in for
+  the paper's DB2/Shore installations,
+* the paper's TPC-C/TPC-W-style workloads and its 17 experimental
+  setups (:mod:`repro.workloads`),
+* the external scheduling front-end, feedback controller, and tuner
+  (:mod:`repro.core`),
+* the queueing models behind the tuner (:mod:`repro.queueing`),
+* the prioritization application (:mod:`repro.priority`), and
+* a harness regenerating every table/figure of the paper's evaluation
+  (:mod:`repro.experiments`, also ``python -m repro.experiments``).
+
+Quickstart::
+
+    from repro import SystemConfig, SimulatedSystem, get_setup
+
+    setup = get_setup(1)                     # Table 2, setup 1
+    config = SystemConfig(workload=setup.workload,
+                          hardware=setup.hardware, mpl=5)
+    result = SimulatedSystem(config).run(transactions=2000)
+    print(result.throughput, result.mean_response_time)
+"""
+
+from repro.core.controller import MplController, Thresholds
+from repro.core.frontend import ExternalScheduler
+from repro.core.system import RunResult, SimulatedSystem, SystemConfig
+from repro.core.tuner import MplTuner, TuningResult
+from repro.dbms.config import HardwareConfig, InternalPolicy, IsolationLevel
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.transaction import Priority, Transaction
+from repro.queueing.mpl_ps_queue import MplPsQueue
+from repro.queueing.throughput_model import ThroughputModel
+from repro.workloads.setups import SETUPS, WORKLOADS, Setup, get_setup, get_workload
+from repro.workloads.spec import TransactionType, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatabaseEngine",
+    "ExternalScheduler",
+    "HardwareConfig",
+    "InternalPolicy",
+    "IsolationLevel",
+    "MplController",
+    "MplPsQueue",
+    "MplTuner",
+    "Priority",
+    "RunResult",
+    "SETUPS",
+    "Setup",
+    "SimulatedSystem",
+    "SystemConfig",
+    "Thresholds",
+    "ThroughputModel",
+    "Transaction",
+    "TransactionType",
+    "TuningResult",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "__version__",
+    "get_setup",
+    "get_workload",
+]

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: external scheduling with a tuned MPL.
+
+* :mod:`repro.core.frontend` — the MPL-limited dispatcher of Figure 1.
+* :mod:`repro.core.policies` — external-queue orderings (FIFO,
+  priority, SJF).
+* :mod:`repro.core.clients` — closed client populations and open
+  Poisson sources.
+* :mod:`repro.core.system` — wiring + run harness.
+* :mod:`repro.core.controller` — the feedback controller of §4.3.
+* :mod:`repro.core.tuner` — queueing-model jump-start + controller
+  ("the tool" of the paper's conclusion).
+"""
+
+from repro.core.clients import ClosedPopulation, OpenSource
+from repro.core.controller import ControllerReport, MplController, Thresholds
+from repro.core.frontend import ExternalScheduler
+from repro.core.policies import (
+    FifoPolicy,
+    PriorityPolicy,
+    QueuePolicy,
+    SjfPolicy,
+    make_policy,
+)
+from repro.core.system import RunResult, SimulatedSystem, SystemConfig
+from repro.core.tuner import MplTuner, TuningResult
+
+__all__ = [
+    "ClosedPopulation",
+    "ControllerReport",
+    "ExternalScheduler",
+    "FifoPolicy",
+    "MplController",
+    "MplTuner",
+    "OpenSource",
+    "PriorityPolicy",
+    "QueuePolicy",
+    "RunResult",
+    "SimulatedSystem",
+    "SjfPolicy",
+    "SystemConfig",
+    "Thresholds",
+    "TuningResult",
+    "make_policy",
+]

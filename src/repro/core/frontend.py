@@ -1,0 +1,120 @@
+"""The external scheduling front-end (Figure 1).
+
+The :class:`ExternalScheduler` sits between clients and the DBMS: at
+most ``mpl`` transactions execute inside the engine at once; the rest
+wait in an external queue ordered by a pluggable
+:class:`~repro.core.policies.QueuePolicy`.  Setting ``mpl=None``
+removes the limit entirely — that is the paper's "original system"
+baseline against which throughput loss and response-time inflation are
+measured.
+
+The MPL can be changed on the fly (:meth:`set_mpl`), which is what the
+feedback controller does between observation periods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.transaction import Transaction, TxStatus
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Event, Simulator
+from repro.core.policies import FifoPolicy, QueuePolicy
+
+
+class ExternalScheduler:
+    """MPL-limited dispatcher over a DBMS engine.
+
+    Parameters
+    ----------
+    mpl:
+        Maximum concurrent transactions inside the engine;
+        ``None`` = unlimited (the no-external-scheduling baseline).
+    policy:
+        External queue ordering; defaults to FIFO.
+    collector:
+        Optional metrics sink notified of arrivals and completions.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        engine: DatabaseEngine,
+        mpl: Optional[int] = None,
+        policy: Optional[QueuePolicy] = None,
+        collector: Optional[MetricsCollector] = None,
+    ):
+        if mpl is not None and mpl < 1:
+            raise ValueError(f"mpl must be >= 1 or None, got {mpl!r}")
+        self.sim = sim
+        self.engine = engine
+        self.policy = policy if policy is not None else FifoPolicy()
+        self.collector = collector
+        self._mpl = mpl
+        self._in_service = 0
+        self.dispatched = 0
+        self.completed = 0
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def mpl(self) -> Optional[int]:
+        """The current multi-programming limit (None = unlimited)."""
+        return self._mpl
+
+    def set_mpl(self, mpl: Optional[int]) -> None:
+        """Change the MPL; raising it dispatches queued work at once.
+
+        Lowering it never evicts running transactions — the population
+        inside the DBMS simply drains down to the new limit, exactly
+        like the paper's controller.
+        """
+        if mpl is not None and mpl < 1:
+            raise ValueError(f"mpl must be >= 1 or None, got {mpl!r}")
+        self._mpl = mpl
+        self._dispatch()
+
+    # -- operation ------------------------------------------------------------
+
+    def submit(self, tx: Transaction) -> Event:
+        """Accept a transaction; the event fires at commit with ``tx``."""
+        tx.arrival_time = self.sim.now
+        tx.status = TxStatus.QUEUED
+        done = Event(self.sim)
+        tx._completion_event = done  # stashed for _on_complete
+        if self.collector is not None:
+            self.collector.on_arrival(tx)
+        self.policy.push(tx)
+        self._dispatch()
+        return done
+
+    @property
+    def queue_length(self) -> int:
+        """Transactions waiting in the external queue."""
+        return len(self.policy)
+
+    @property
+    def in_service(self) -> int:
+        """Transactions currently inside the DBMS."""
+        return self._in_service
+
+    # -- internals ---------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while self.policy and (self._mpl is None or self._in_service < self._mpl):
+            tx = self.policy.pop()
+            self._in_service += 1
+            self.dispatched += 1
+            process = self.engine.execute(tx)
+            process.add_callback(lambda _event, tx=tx: self._on_complete(tx))
+
+    def _on_complete(self, tx: Transaction) -> None:
+        self._in_service -= 1
+        self.completed += 1
+        if self.collector is not None:
+            self.collector.on_completion(tx)
+        done = tx.__dict__.pop("_completion_event", None)
+        self._dispatch()
+        if done is not None:
+            done.succeed(tx)

@@ -1,0 +1,201 @@
+"""System assembly and run harness.
+
+:class:`SimulatedSystem` wires a workload source, the external
+scheduling front-end, and the DBMS engine into one simulation, and
+provides the measurement loop every experiment uses: run until N
+transactions complete, discard a warmup prefix, report throughput /
+response times / utilizations as a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.clients import ClosedPopulation, OpenSource, fraction_high_assigner
+from repro.core.frontend import ExternalScheduler
+from repro.core.policies import make_policy
+from repro.dbms.config import HardwareConfig, InternalPolicy, IsolationLevel
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.transaction import Priority
+from repro.metrics import stats
+from repro.metrics.collector import MetricsCollector, TransactionRecord
+from repro.sim.distributions import Exponential
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.random import RandomStreams
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build one simulated system.
+
+    Closed mode (the default) runs ``num_clients`` think/submit loops;
+    setting ``arrival_rate`` switches to an open system with Poisson
+    arrivals at that rate (transactions per second).
+    """
+
+    workload: WorkloadSpec
+    hardware: HardwareConfig
+    isolation: IsolationLevel = IsolationLevel.RR
+    internal: Optional[InternalPolicy] = None
+    mpl: Optional[int] = None
+    policy: str = "fifo"
+    num_clients: int = 100
+    think_time_s: float = 0.0
+    arrival_rate: Optional[float] = None
+    high_priority_fraction: float = 0.0
+    seed: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """Post-warmup measurements of one run."""
+
+    mpl: Optional[int]
+    completed: int
+    sim_time: float
+    throughput: float
+    mean_response_time: float
+    response_time_by_class: Dict[int, float]
+    count_by_class: Dict[int, int]
+    response_time_scv: float
+    utilizations: Dict[str, float]
+    restart_rate: float
+    mean_external_wait: float
+    mean_lock_wait: float
+
+    @property
+    def high_response_time(self) -> float:
+        """Mean response time of the HIGH class (0.0 if absent)."""
+        return self.response_time_by_class.get(int(Priority.HIGH), 0.0)
+
+    @property
+    def low_response_time(self) -> float:
+        """Mean response time of the LOW class (0.0 if absent)."""
+        return self.response_time_by_class.get(int(Priority.LOW), 0.0)
+
+    @property
+    def differentiation(self) -> float:
+        """Low-to-high response time ratio (the paper's "factor")."""
+        high = self.high_response_time
+        if high <= 0:
+            return 0.0
+        return self.low_response_time / high
+
+
+class SimulatedSystem:
+    """A fully wired simulation: source → external queue → DBMS."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.collector = MetricsCollector()
+        self.engine = DatabaseEngine(
+            self.sim,
+            config.hardware,
+            db_pages=config.workload.db_pages,
+            streams=self.streams,
+            isolation=config.isolation,
+            internal=config.internal,
+            hot_access_fraction=config.workload.hot_access_fraction,
+            hot_page_fraction=config.workload.hot_page_fraction,
+        )
+        self.frontend = ExternalScheduler(
+            self.sim,
+            self.engine,
+            mpl=config.mpl,
+            policy=make_policy(config.policy),
+            collector=self.collector,
+        )
+        assigner = None
+        if config.high_priority_fraction > 0:
+            assigner = fraction_high_assigner(config.high_priority_fraction)
+        if config.arrival_rate is not None:
+            if config.arrival_rate <= 0:
+                raise ValueError(
+                    f"arrival_rate must be positive, got {config.arrival_rate!r}"
+                )
+            self.source: object = OpenSource(
+                self.sim,
+                self.frontend,
+                config.workload,
+                interarrival=Exponential(1.0 / config.arrival_rate),
+                rng=self.streams.stream("arrivals"),
+                priority_assigner=assigner,
+            )
+        else:
+            think = (
+                Exponential(config.think_time_s) if config.think_time_s > 0 else None
+            )
+            self.source = ClosedPopulation(
+                self.sim,
+                self.frontend,
+                config.workload,
+                num_clients=config.num_clients,
+                think_time=think,
+                rng=self.streams.stream("clients"),
+                priority_assigner=assigner,
+            )
+
+    # -- measurement loop ----------------------------------------------------
+
+    def run_transactions(self, count: int) -> List[TransactionRecord]:
+        """Advance the simulation until ``count`` more completions.
+
+        Returns the records of exactly that window (in completion
+        order).  Used directly by the feedback controller's
+        observation periods.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count!r}")
+        self.source.start()
+        start_index = len(self.collector.records)
+        target = start_index + count
+        while len(self.collector.records) < target:
+            if self.sim.peek() == float("inf"):
+                raise SimulationError(
+                    "simulation drained before reaching the completion target"
+                )
+            self.sim.step()
+        return self.collector.records[start_index:target]
+
+    def run(self, transactions: int = 2000, warmup_fraction: float = 0.2) -> RunResult:
+        """Run until ``transactions`` complete; report post-warmup stats."""
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction!r}"
+            )
+        self.run_transactions(transactions)
+        warmup = int(len(self.collector.records) * warmup_fraction)
+        return self.result(warmup=warmup)
+
+    def result(self, warmup: int = 0) -> RunResult:
+        """Build a :class:`RunResult` from everything measured so far."""
+        records = self.collector.completed(warmup)
+        by_class: Dict[int, List[float]] = {}
+        for record in records:
+            by_class.setdefault(record.priority, []).append(record.response_time)
+        elapsed = self.sim.now if self.sim.now > 0 else 1.0
+        return RunResult(
+            mpl=self.frontend.mpl,
+            completed=len(records),
+            sim_time=self.sim.now,
+            throughput=self.collector.throughput(warmup),
+            mean_response_time=self.collector.mean_response_time(warmup),
+            response_time_by_class={
+                prio: stats.mean(times) for prio, times in by_class.items()
+            },
+            count_by_class={prio: len(times) for prio, times in by_class.items()},
+            response_time_scv=self.collector.response_time_scv(warmup),
+            utilizations=self.engine.utilization_snapshot(elapsed),
+            restart_rate=self.collector.restart_rate(warmup),
+            mean_external_wait=stats.mean([r.external_wait for r in records]),
+            mean_lock_wait=stats.mean([r.lock_wait_time for r in records]),
+        )
+
+
+def run_system(config: SystemConfig, transactions: int = 2000) -> RunResult:
+    """Convenience: build a system from ``config`` and run it once."""
+    return SimulatedSystem(config).run(transactions=transactions)

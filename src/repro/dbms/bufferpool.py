@@ -1,0 +1,162 @@
+"""Buffer-pool models deciding which page touches hit the cache.
+
+Two implementations with the same interface:
+
+* :class:`LRUBufferPool` — an exact LRU page cache.  Faithful but too
+  slow to drive millions of page references through in pure Python.
+* :class:`AnalyticBufferPool` — the steady-state hit probability of an
+  LRU cache under the independent-reference model with a hot/cold
+  access skew (the classic "80/20" approximation: the cache retains
+  the hottest pages).  This is the default used by the DBMS engine.
+
+The paper's workload table (Table 1) is entirely about this knob: the
+same TPC-C/TPC-W mixes become CPU bound when the database fits in the
+cache and I/O bound when it does not.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+from typing import Optional
+
+
+class AnalyticBufferPool:
+    """Closed-form LRU hit probability under hot/cold page skew.
+
+    Parameters
+    ----------
+    db_pages:
+        Total database size in pages.
+    pool_pages:
+        Cache capacity in pages.
+    hot_access_fraction / hot_page_fraction:
+        Fraction of references that target the hot set and the fraction
+        of the database that the hot set occupies (defaults: the 80/20
+        rule).  Under LRU the cache preferentially retains hot pages,
+        so the model fills the cache hot-first.
+    """
+
+    def __init__(
+        self,
+        db_pages: int,
+        pool_pages: int,
+        hot_access_fraction: float = 0.8,
+        hot_page_fraction: float = 0.2,
+    ):
+        if db_pages < 1 or pool_pages < 1:
+            raise ValueError("db_pages and pool_pages must be positive")
+        if not 0.0 <= hot_access_fraction <= 1.0:
+            raise ValueError(f"bad hot_access_fraction {hot_access_fraction!r}")
+        if not 0.0 < hot_page_fraction <= 1.0:
+            raise ValueError(f"bad hot_page_fraction {hot_page_fraction!r}")
+        self.db_pages = int(db_pages)
+        self.pool_pages = int(pool_pages)
+        self.hot_access_fraction = hot_access_fraction
+        self.hot_page_fraction = hot_page_fraction
+        self._hit_probability = self._compute_hit_probability()
+        self._hits = 0
+        self._misses = 0
+
+    def _compute_hit_probability(self) -> float:
+        if self.pool_pages >= self.db_pages:
+            return 1.0
+        hot_pages = max(1.0, self.hot_page_fraction * self.db_pages)
+        cold_pages = max(1.0, self.db_pages - hot_pages)
+        cold_access = 1.0 - self.hot_access_fraction
+        if self.pool_pages >= hot_pages:
+            cold_cached = (self.pool_pages - hot_pages) / cold_pages
+            return self.hot_access_fraction + cold_access * cold_cached
+        return self.hot_access_fraction * (self.pool_pages / hot_pages)
+
+    @property
+    def hit_probability(self) -> float:
+        """Steady-state probability that a page touch hits the cache."""
+        return self._hit_probability
+
+    def access(self, rng: random.Random, page: Optional[int] = None) -> bool:
+        """Touch a page; returns True on a cache hit."""
+        hit = rng.random() < self._hit_probability
+        if hit:
+            self._hits += 1
+        else:
+            self._misses += 1
+        return hit
+
+    def sample_misses(self, rng: random.Random, accesses: int) -> int:
+        """Number of physical reads among ``accesses`` page touches.
+
+        Draws Binomial(accesses, miss probability); exact summation is
+        used for small counts and a clamped normal approximation for
+        large ones (the engine only needs the count, not the pattern).
+        """
+        if accesses <= 0:
+            return 0
+        miss_p = 1.0 - self._hit_probability
+        if miss_p <= 0.0:
+            return 0
+        if miss_p >= 1.0:
+            return accesses
+        if accesses <= 64:
+            misses = 0
+            for _ in range(accesses):
+                if rng.random() < miss_p:
+                    misses += 1
+            return misses
+        mean = accesses * miss_p
+        std = (accesses * miss_p * (1.0 - miss_p)) ** 0.5
+        draw = round(rng.gauss(mean, std))
+        return max(0, min(accesses, draw))
+
+    @property
+    def observed_hit_rate(self) -> float:
+        """Empirical hit rate over all :meth:`access` calls so far."""
+        total = self._hits + self._misses
+        if total == 0:
+            return 0.0
+        return self._hits / total
+
+
+class LRUBufferPool:
+    """An exact least-recently-used page cache.
+
+    Suitable for unit tests and small workloads; the engine can be
+    configured to use it instead of the analytic model for
+    cross-validation (see ``tests/test_bufferpool.py``).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = int(capacity)
+        self._pages: "collections.OrderedDict[int, None]" = collections.OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def access(self, rng: random.Random, page: Optional[int] = None) -> bool:
+        """Touch ``page``; returns True on a hit, evicting LRU on miss."""
+        if page is None:
+            raise ValueError("LRUBufferPool.access requires an explicit page id")
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self._hits += 1
+            return True
+        self._misses += 1
+        self._pages[page] = None
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+        return False
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def observed_hit_rate(self) -> float:
+        """Empirical hit rate over all accesses so far."""
+        total = self._hits + self._misses
+        if total == 0:
+            return 0.0
+        return self._hits / total

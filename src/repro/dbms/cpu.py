@@ -1,0 +1,190 @@
+"""A weighted processor-sharing CPU pool.
+
+The paper models (and measures) the DBMS CPU as processor sharing:
+every runnable transaction gets an equal share of the k CPUs, with no
+job using more than one CPU at a time.  Internal CPU prioritization
+(the ``renice`` experiment of §5.2) skews the shares by a per-class
+weight, which is exactly weighted processor sharing.
+
+The implementation is event driven: whenever the active-job set (or a
+weight) changes, remaining service is settled at the old rates, new
+rates are computed by max-min water-filling (each job's rate is capped
+at one core), and a single completion timer is scheduled for the next
+finishing job.  This is exact, not time-sliced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+_EPSILON = 1e-9
+
+
+class _Job:
+    __slots__ = ("handle", "demand", "remaining", "weight", "event", "rate")
+
+    def __init__(self, handle: int, demand: float, weight: float, event: Event):
+        self.handle = handle
+        self.demand = demand
+        self.remaining = demand
+        self.weight = weight
+        self.event = event
+        self.rate = 0.0
+
+
+class ProcessorSharingPool:
+    """``cores`` CPUs of speed ``speed`` shared by weighted PS.
+
+    A job of demand ``d`` submitted via :meth:`execute` finishes after
+    ``d`` units of CPU *work* have been served to it; with ``n`` equal
+    weight jobs and ``k`` cores each job is served at rate
+    ``min(speed, k * speed / n)``.
+    """
+
+    def __init__(self, sim: Simulator, cores: int, speed: float = 1.0):
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores!r}")
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed!r}")
+        self.sim = sim
+        self.cores = cores
+        self.speed = speed
+        self._jobs: Dict[int, _Job] = {}
+        self._handles = itertools.count(1)
+        self._last_settle = sim.now
+        self._timer_generation = 0
+        self._busy_core_time = 0.0  # integral of (total service rate / speed) dt
+        self._work_completed = 0.0
+
+    # -- public API ------------------------------------------------------
+
+    def execute(self, demand: float, weight: float = 1.0) -> Event:
+        """Submit a job of CPU demand ``demand``; fires when served.
+
+        ``weight`` is the weighted-PS share weight (used by internal
+        CPU prioritization); it must be positive.
+        """
+        if demand < 0:
+            raise ValueError(f"demand must be non-negative, got {demand!r}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight!r}")
+        event = Event(self.sim)
+        if demand <= _EPSILON:
+            event.succeed()
+            return event
+        self._settle()
+        job = _Job(next(self._handles), float(demand), weight, event)
+        self._jobs[job.handle] = job
+        self._reallocate_and_arm()
+        return event
+
+    def set_weight(self, handle: int, weight: float) -> None:
+        """Change a running job's weight (rarely needed; for tooling)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight!r}")
+        job = self._jobs.get(handle)
+        if job is None:
+            raise SimulationError(f"no active job with handle {handle!r}")
+        self._settle()
+        job.weight = weight
+        self._reallocate_and_arm()
+
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently in service."""
+        return len(self._jobs)
+
+    @property
+    def busy_core_time(self) -> float:
+        """Cumulative busy time summed over cores (for utilization)."""
+        self._settle()
+        return self._busy_core_time
+
+    @property
+    def work_completed(self) -> float:
+        """Total CPU demand served to completed jobs."""
+        return self._work_completed
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean per-core utilization over ``elapsed`` time units."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_core_time / (self.cores * elapsed)
+
+    # -- internals --------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Account for work served since the last settle point."""
+        now = self.sim.now
+        dt = now - self._last_settle
+        if dt <= 0:
+            self._last_settle = now
+            return
+        total_rate = 0.0
+        for job in self._jobs.values():
+            served = job.rate * dt
+            job.remaining -= served
+            if job.remaining < 0:
+                job.remaining = 0.0
+            total_rate += job.rate
+        self._busy_core_time += (total_rate / self.speed) * dt
+        self._last_settle = now
+
+    def _water_fill(self) -> None:
+        """Weighted max-min allocation with a per-job cap of one core."""
+        active = list(self._jobs.values())
+        for job in active:
+            job.rate = 0.0
+        capacity = self.cores * self.speed
+        while active and capacity > _EPSILON:
+            total_weight = sum(job.weight for job in active)
+            share_per_weight = capacity / total_weight
+            capped = [
+                job for job in active if job.weight * share_per_weight >= self.speed - _EPSILON
+            ]
+            if not capped:
+                for job in active:
+                    job.rate = job.weight * share_per_weight
+                return
+            for job in capped:
+                job.rate = self.speed
+                capacity -= self.speed
+            active = [job for job in active if job.rate == 0.0]
+
+    def _reallocate_and_arm(self) -> None:
+        self._water_fill()
+        self._complete_finished()
+        self._arm_timer()
+
+    def _complete_finished(self) -> None:
+        finished = [job for job in self._jobs.values() if job.remaining <= _EPSILON]
+        for job in finished:
+            del self._jobs[job.handle]
+            self._work_completed += job.demand
+            job.event.succeed()
+        if finished:
+            self._water_fill()
+
+    def _arm_timer(self) -> None:
+        self._timer_generation += 1
+        generation = self._timer_generation
+        next_finish = None
+        for job in self._jobs.values():
+            if job.rate > _EPSILON:
+                eta = job.remaining / job.rate
+                if next_finish is None or eta < next_finish:
+                    next_finish = eta
+        if next_finish is None:
+            return
+        timer = self.sim.timeout(max(0.0, next_finish))
+        timer.add_callback(lambda _event: self._on_timer(generation))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # superseded by a later reallocation
+        self._settle()
+        self._complete_finished()
+        self._arm_timer()

@@ -1,0 +1,160 @@
+"""FCFS disk devices and striped disk arrays.
+
+Each :class:`Disk` is a single FCFS server with stochastic per-request
+service times (seek + rotation + transfer folded into one
+distribution).  :class:`DiskArray` stripes a transaction's page reads
+round-robin across the data disks, matching the paper's evenly striped
+data layout (§4.1: "the data is evenly striped over the disks").
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+from typing import Deque, List, Optional, Tuple
+
+from repro.sim.distributions import Distribution
+from repro.sim.engine import Event, Simulator
+
+
+class Disk:
+    """A single FCFS disk.
+
+    Requests are served one at a time in arrival order; an optional
+    priority mode serves pending high-priority requests first (used
+    only by internal-scheduling ablations, never by the stock DBMS).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service_time: Distribution,
+        rng: random.Random,
+        name: str = "disk",
+        priority_order: bool = False,
+    ):
+        self.sim = sim
+        self.name = name
+        self.service_time = service_time
+        self.priority_order = priority_order
+        self._rng = rng
+        self._queue: Deque[Tuple[int, Event]] = collections.deque()
+        self._busy = False
+        self._busy_time = 0.0
+        self._requests_served = 0
+
+    def submit(self, priority: int = 0) -> Event:
+        """Enqueue one page request; the event fires when it completes."""
+        done = Event(self.sim)
+        if self._busy:
+            self._queue.append((priority, done))
+        else:
+            self._start(done)
+        return done
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative time the disk arm was busy."""
+        return self._busy_time
+
+    @property
+    def requests_served(self) -> int:
+        """Number of completed requests."""
+        return self._requests_served
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the disk was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_time / elapsed
+
+    def _start(self, done: Event) -> None:
+        self._busy = True
+        duration = self.service_time.sample(self._rng)
+        timer = self.sim.timeout(duration)
+        timer.add_callback(lambda _event: self._finish(done, duration))
+
+    def _finish(self, done: Event, duration: float) -> None:
+        self._busy_time += duration
+        self._requests_served += 1
+        done.succeed()
+        if self._queue:
+            next_done = self._pop_next()
+            self._start(next_done)
+        else:
+            self._busy = False
+
+    def _pop_next(self) -> Event:
+        if not self.priority_order:
+            return self._queue.popleft()[1]
+        best_index = 0
+        best_priority = self._queue[0][0]
+        for index, (priority, _event) in enumerate(self._queue):
+            if priority > best_priority:
+                best_priority = priority
+                best_index = index
+        _priority, event = self._queue[best_index]
+        del self._queue[best_index]
+        return event
+
+
+class DiskArray:
+    """``n`` data disks with round-robin page striping.
+
+    A transaction's i-th physical read goes to disk
+    ``(home + i) mod n`` where ``home`` is a per-transaction offset, so
+    concurrent transactions spread across the whole array exactly as an
+    even stripe would.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_disks: int,
+        service_time: Distribution,
+        rng: random.Random,
+        priority_order: bool = False,
+    ):
+        if num_disks < 1:
+            raise ValueError(f"num_disks must be >= 1, got {num_disks!r}")
+        self.sim = sim
+        self.disks: List[Disk] = [
+            Disk(sim, service_time, rng, name=f"disk{i}", priority_order=priority_order)
+            for i in range(num_disks)
+        ]
+        self._next_home = 0
+
+    def __len__(self) -> int:
+        return len(self.disks)
+
+    def assign_home(self) -> int:
+        """A starting disk for a new transaction (round-robin)."""
+        home = self._next_home
+        self._next_home = (self._next_home + 1) % len(self.disks)
+        return home
+
+    def submit(self, home: int, sequence: int, priority: int = 0) -> Event:
+        """Submit a transaction's ``sequence``-th page read."""
+        disk = self.disks[(home + sequence) % len(self.disks)]
+        return disk.submit(priority)
+
+    @property
+    def busy_time(self) -> float:
+        """Total busy time summed across disks."""
+        return sum(disk.busy_time for disk in self.disks)
+
+    @property
+    def requests_served(self) -> int:
+        """Completed requests summed across disks."""
+        return sum(disk.requests_served for disk in self.disks)
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean per-disk utilization over ``elapsed``."""
+        if elapsed <= 0 or not self.disks:
+            return 0.0
+        return self.busy_time / (len(self.disks) * elapsed)

@@ -1,0 +1,115 @@
+"""Transaction descriptors.
+
+A :class:`Transaction` is the unit the external scheduler admits and
+the DBMS engine executes.  Its resource demands (CPU seconds, logical
+page touches, lock set) are sampled by the workload generator when the
+transaction is created; the engine then realizes them against the
+simulated hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Tuple
+
+
+class Priority(enum.IntEnum):
+    """Priority classes used by the §5 prioritization experiments.
+
+    Higher numeric value = more important.  The paper uses exactly two
+    classes with 10% of transactions assigned HIGH.
+    """
+
+    LOW = 0
+    HIGH = 1
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle states of a transaction."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclasses.dataclass
+class Transaction:
+    """One transaction instance with sampled resource demands.
+
+    Attributes
+    ----------
+    tid:
+        Unique transaction id (assigned by the workload source).
+    type_name:
+        Workload transaction type (e.g. ``"NewOrder"``).
+    cpu_demand:
+        Total CPU seconds required.
+    page_accesses:
+        Logical page touches; the buffer pool decides how many become
+        physical reads.
+    lock_requests:
+        ``(item, exclusive)`` pairs acquired under strict 2PL.  Under
+        Uncommitted Read isolation the engine skips the shared ones.
+    is_update:
+        Whether commit forces a log write.
+    priority:
+        Priority class (see :class:`Priority`).
+    client_id:
+        Issuing closed-loop client, if any.
+    """
+
+    tid: int
+    type_name: str
+    cpu_demand: float
+    page_accesses: int
+    lock_requests: List[Tuple[int, bool]] = dataclasses.field(default_factory=list)
+    is_update: bool = False
+    priority: int = Priority.LOW
+    client_id: Optional[int] = None
+
+    # lifecycle timestamps, filled in as the transaction progresses
+    arrival_time: float = 0.0
+    dispatch_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    status: TxStatus = TxStatus.QUEUED
+    restarts: int = 0
+    lock_wait_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_demand < 0:
+            raise ValueError(f"cpu_demand must be non-negative, got {self.cpu_demand!r}")
+        if self.page_accesses < 0:
+            raise ValueError(
+                f"page_accesses must be non-negative, got {self.page_accesses!r}"
+            )
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Arrival-to-completion time (includes external queueing)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+    @property
+    def execution_time(self) -> Optional[float]:
+        """Dispatch-to-completion time (inside the DBMS only)."""
+        if self.completion_time is None or self.dispatch_time is None:
+            return None
+        return self.completion_time - self.dispatch_time
+
+    @property
+    def external_wait(self) -> Optional[float]:
+        """Time spent queued outside the DBMS."""
+        if self.dispatch_time is None:
+            return None
+        return self.dispatch_time - self.arrival_time
+
+    def demand_total(self, disk_service_mean: float, miss_probability: float) -> float:
+        """Rough total service demand (CPU + expected physical I/O).
+
+        Used for the C² variability statistics of §3.2 and by
+        size-aware external policies.
+        """
+        return self.cpu_demand + self.page_accesses * miss_probability * disk_service_mean

@@ -1,0 +1,117 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments --figure 2
+    python -m repro.experiments --figure 10 --table 1
+    python -m repro.experiments --all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import figures, tables
+
+_FIGURES: Dict[str, Callable] = {
+    "2": figures.figure2,
+    "3": figures.figure3,
+    "4": figures.figure4,
+    "5": figures.figure5,
+    "7": figures.figure7,
+    "10": figures.figure10,
+    "11": figures.figure11,
+    "12": figures.figure12,
+    "13": figures.figure13,
+    "s3.2": figures.section32_response_time,
+    "s4.3": figures.controller_convergence,
+}
+
+_TABLES: Dict[str, Callable[[], str]] = {
+    "1": tables.table1,
+    "2": tables.table2,
+    "c2": tables.variability_table,
+}
+
+#: Figures that take no ``fast`` argument (purely analytic).
+_ANALYTIC = {"7", "10"}
+
+
+def _run_figure(key: str, fast: bool) -> None:
+    function = _FIGURES[key]
+    start = time.time()
+    if key in _ANALYTIC:
+        result = function()
+    else:
+        result = function(fast=fast)
+    if not isinstance(result, list):
+        result = [result]
+    for panel in result:
+        print(panel.render())
+        print()
+    print(f"[figure {key} regenerated in {time.time() - start:.1f}s]")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        default=[],
+        metavar="ID",
+        help=f"figure to regenerate (one of {sorted(_FIGURES)})",
+    )
+    parser.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="ID",
+        help=f"table to regenerate (one of {sorted(_TABLES)})",
+    )
+    parser.add_argument("--all", action="store_true", help="regenerate everything")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-size runs (default is fast, reduced sample sizes)",
+    )
+    parser.add_argument("--list", action="store_true", help="list available ids")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("figures:", ", ".join(sorted(_FIGURES)))
+        print("tables :", ", ".join(sorted(_TABLES)))
+        return 0
+
+    figure_ids = list(args.figure)
+    table_ids = list(args.table)
+    if args.all:
+        figure_ids = sorted(_FIGURES)
+        table_ids = sorted(_TABLES)
+    if not figure_ids and not table_ids:
+        parser.print_help()
+        return 2
+
+    for table_id in table_ids:
+        if table_id not in _TABLES:
+            print(f"unknown table {table_id!r}", file=sys.stderr)
+            return 2
+        print(_TABLES[table_id]())
+        print()
+    for figure_id in figure_ids:
+        key = figure_id.lower()
+        if key not in _FIGURES:
+            print(f"unknown figure {figure_id!r}", file=sys.stderr)
+            return 2
+        _run_figure(key, fast=not args.full)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

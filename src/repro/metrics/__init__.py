@@ -1,0 +1,20 @@
+"""Measurement machinery: per-transaction records and statistics."""
+
+from repro.metrics.collector import MetricsCollector, TransactionRecord
+from repro.metrics.stats import (
+    confidence_interval,
+    mean,
+    relative_half_width,
+    scv,
+    variance,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "TransactionRecord",
+    "confidence_interval",
+    "mean",
+    "relative_half_width",
+    "scv",
+    "variance",
+]

@@ -1,0 +1,96 @@
+"""Small statistics helpers (no heavyweight dependencies).
+
+The controller (§4.3) sizes its observation periods with confidence
+intervals, and the variability study (§3.2) reports the squared
+coefficient of variation C²; both live here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+# Two-sided 95% Student-t critical values by degrees of freedom; falls
+# back to the normal quantile above the table.
+_T_TABLE_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    12: 2.179, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+_Z_95 = 1.960
+
+
+def _t_critical(dof: int) -> float:
+    if dof <= 0:
+        return float("inf")
+    if dof in _T_TABLE_95:
+        return _T_TABLE_95[dof]
+    keys = sorted(_T_TABLE_95)
+    if dof > keys[-1]:
+        return _Z_95
+    for lower, upper in zip(keys, keys[1:]):
+        if lower < dof < upper:
+            weight = (dof - lower) / (upper - lower)
+            return _T_TABLE_95[lower] * (1 - weight) + _T_TABLE_95[upper] * weight
+    return _Z_95
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Unbiased sample variance; 0.0 for fewer than two samples."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return sum((v - m) ** 2 for v in values) / (n - 1)
+
+
+def scv(values: Sequence[float]) -> float:
+    """Squared coefficient of variation C² = Var / Mean²."""
+    m = mean(values)
+    if m == 0:
+        return 0.0
+    return variance(values) / m**2
+
+
+def confidence_interval(values: Sequence[float]) -> Tuple[float, float]:
+    """95% Student-t confidence interval for the mean: (mean, half-width)."""
+    n = len(values)
+    m = mean(values)
+    if n < 2:
+        return m, float("inf")
+    half = _t_critical(n - 1) * math.sqrt(variance(values) / n)
+    return m, half
+
+
+def relative_half_width(values: Sequence[float]) -> float:
+    """CI half-width divided by the mean (the controller's stability test)."""
+    m, half = confidence_interval(values)
+    if m == 0:
+        return float("inf")
+    return half / abs(m)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac

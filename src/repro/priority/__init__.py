@@ -1,0 +1,15 @@
+"""Transaction prioritization — external and internal (§5)."""
+
+from repro.priority.assignment import PriorityAssignment
+from repro.priority.evaluation import (
+    PrioritizationOutcome,
+    evaluate_external_prioritization,
+    evaluate_internal_prioritization,
+)
+
+__all__ = [
+    "PriorityAssignment",
+    "PrioritizationOutcome",
+    "evaluate_external_prioritization",
+    "evaluate_internal_prioritization",
+]

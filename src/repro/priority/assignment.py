@@ -1,0 +1,63 @@
+"""Priority-class assignment.
+
+The paper does not prescribe how transactions obtain their class — it
+simply assigns 10% of transactions "high" priority at random (§5.1,
+"the e-commerce vendor has reasons for choosing some
+transactions/clients to be higher or lower-priority").  This module
+packages that rule, plus a per-client variant (whole clients are
+premium customers) useful for the e-commerce example.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.dbms.transaction import Priority
+
+
+class PriorityAssignment:
+    """Assigns priority classes to transactions.
+
+    Parameters
+    ----------
+    high_fraction:
+        Probability a transaction (or client) is HIGH priority; the
+        paper uses 0.10.
+    per_client:
+        When true, the draw is made once per client id and then
+        remembered, modelling premium *customers* rather than premium
+        transactions.
+    seed:
+        Seed for the per-client draws (ignored in per-transaction
+        mode, where the caller's stream is used).
+    """
+
+    def __init__(
+        self,
+        high_fraction: float = 0.10,
+        per_client: bool = False,
+        seed: int = 0,
+    ):
+        if not 0.0 <= high_fraction <= 1.0:
+            raise ValueError(
+                f"high_fraction must be in [0, 1], got {high_fraction!r}"
+            )
+        self.high_fraction = high_fraction
+        self.per_client = per_client
+        self._client_classes: dict = {}
+        self._client_rng = random.Random(seed)
+
+    def assign(self, rng: random.Random, client_id: Optional[int] = None) -> int:
+        """Class for the next transaction (HIGH with prob. ``high_fraction``)."""
+        if self.per_client and client_id is not None:
+            cached = self._client_classes.get(client_id)
+            if cached is None:
+                draw = self._client_rng.random() < self.high_fraction
+                cached = Priority.HIGH if draw else Priority.LOW
+                self._client_classes[client_id] = cached
+            return cached
+        return Priority.HIGH if rng.random() < self.high_fraction else Priority.LOW
+
+    def __call__(self, rng: random.Random) -> int:
+        return self.assign(rng)

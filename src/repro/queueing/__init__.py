@@ -1,0 +1,41 @@
+"""Queueing-theoretic models (§4 of the paper).
+
+* :mod:`repro.queueing.mva` — exact Mean Value Analysis for closed
+  networks, including load-dependent (multi-server) stations.
+* :mod:`repro.queueing.throughput_model` — the Figure 6/7 model:
+  throughput vs MPL as a function of the number of utilized
+  resources, plus the minimum-MPL search the tuner uses.
+* :mod:`repro.queueing.qbd` — matrix-geometric solver for
+  quasi-birth-death CTMCs.
+* :mod:`repro.queueing.mpl_ps_queue` — the Figure 8/9 model: an
+  unbounded FIFO queue feeding a PS server that admits at most MPL
+  jobs, with hyperexponential (H2) job sizes; yields mean response
+  time vs MPL (Figure 10).
+* :mod:`repro.queueing.mg1` — M/M/1, M/G/1-FIFO (Pollaczek–Khinchine),
+  M/G/1-PS and M/M/k reference formulas.
+"""
+
+from repro.queueing.mg1 import (
+    mg1_fifo_response_time,
+    mg1_ps_response_time,
+    mm1_response_time,
+    mmk_response_time,
+)
+from repro.queueing.mpl_ps_queue import MplPsQueue, h2_params
+from repro.queueing.mva import MvaResult, Station, mva
+from repro.queueing.qbd import compute_rate_matrix
+from repro.queueing.throughput_model import ThroughputModel
+
+__all__ = [
+    "MplPsQueue",
+    "MvaResult",
+    "Station",
+    "ThroughputModel",
+    "compute_rate_matrix",
+    "h2_params",
+    "mg1_fifo_response_time",
+    "mg1_ps_response_time",
+    "mm1_response_time",
+    "mmk_response_time",
+    "mva",
+]

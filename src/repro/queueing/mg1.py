@@ -1,0 +1,77 @@
+"""Textbook single-queue reference formulas.
+
+Used to anchor the QBD model (MPL = 1 must match Pollaczek–Khinchine,
+MPL → ∞ must match PS) and by the tuner's open-system reasoning.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _check_load(load: float) -> None:
+    if not 0.0 <= load < 1.0:
+        raise ValueError(f"load must be in [0, 1), got {load!r}")
+
+
+def mm1_response_time(arrival_rate: float, service_mean: float) -> float:
+    """M/M/1 mean response time E[T] = E[S] / (1 - ρ)."""
+    load = arrival_rate * service_mean
+    _check_load(load)
+    return service_mean / (1.0 - load)
+
+
+def mg1_fifo_response_time(
+    arrival_rate: float, service_mean: float, service_scv: float
+) -> float:
+    """M/G/1 FIFO mean response time (Pollaczek–Khinchine).
+
+    ``E[T] = E[S] + λ E[S²] / (2 (1 - ρ))`` with
+    ``E[S²] = (C² + 1) E[S]²`` — directly sensitive to job-size
+    variability, which is why a too-low MPL hurts variable workloads
+    (§3.2).
+    """
+    if service_scv < 0:
+        raise ValueError(f"service_scv must be non-negative, got {service_scv!r}")
+    load = arrival_rate * service_mean
+    _check_load(load)
+    second_moment = (service_scv + 1.0) * service_mean**2
+    return service_mean + arrival_rate * second_moment / (2.0 * (1.0 - load))
+
+
+def mg1_ps_response_time(arrival_rate: float, service_mean: float) -> float:
+    """M/G/1 PS mean response time — insensitive to the C² entirely."""
+    load = arrival_rate * service_mean
+    _check_load(load)
+    return service_mean / (1.0 - load)
+
+
+def erlang_c(servers: int, offered: float) -> float:
+    """Erlang-C probability of waiting in an M/M/k queue.
+
+    ``offered`` is λ E[S] (in erlangs); requires offered < servers.
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers!r}")
+    if not 0.0 <= offered < servers:
+        raise ValueError(f"need 0 <= offered < servers, got {offered!r}")
+    if offered == 0.0:
+        return 0.0
+    load = offered / servers
+    term = 1.0
+    total = 1.0  # j = 0 term
+    for j in range(1, servers):
+        term *= offered / j
+        total += term
+    term *= offered / servers
+    tail = term / (1.0 - load)
+    return tail / (total + tail)
+
+
+def mmk_response_time(arrival_rate: float, service_mean: float, servers: int) -> float:
+    """M/M/k mean response time via Erlang-C."""
+    offered = arrival_rate * service_mean
+    probability_wait = erlang_c(servers, offered)
+    load = offered / servers
+    wait = probability_wait * service_mean / (servers * (1.0 - load))
+    return service_mean + wait

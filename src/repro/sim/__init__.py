@@ -1,0 +1,58 @@
+"""Discrete-event simulation kernel.
+
+This subpackage provides the substrate on which the simulated DBMS
+(:mod:`repro.dbms`) runs: a deterministic event loop with generator
+based processes (:mod:`repro.sim.engine`), seeded random-number streams
+(:mod:`repro.sim.random`), and the family of service-time distributions
+used throughout the paper, including two-phase hyperexponential fitting
+from a mean and a squared coefficient of variation
+(:mod:`repro.sim.distributions`).
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.distributions import (
+    Deterministic,
+    Distribution,
+    Empirical,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Uniform,
+    fit_hyperexponential,
+)
+from repro.sim.random import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Deterministic",
+    "Distribution",
+    "Empirical",
+    "Erlang",
+    "Event",
+    "Exponential",
+    "Hyperexponential",
+    "Interrupt",
+    "LogNormal",
+    "Mixture",
+    "Pareto",
+    "Process",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "Uniform",
+    "fit_hyperexponential",
+]

@@ -1,0 +1,354 @@
+"""A minimal, deterministic discrete-event simulation engine.
+
+The engine follows the classic event/process design (as popularized by
+SimPy) but is intentionally small and dependency free:
+
+* :class:`Simulator` owns the virtual clock and a binary-heap agenda.
+* :class:`Event` is a one-shot occurrence with callbacks and a value.
+* :class:`Process` wraps a Python generator; each ``yield``-ed event
+  suspends the process until the event fires.
+
+Determinism matters for reproducing the paper's experiments, so ties in
+time are broken by a monotonically increasing sequence number: two
+events scheduled for the same instant fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence inside a :class:`Simulator`.
+
+    An event starts *pending*, becomes *triggered* once scheduled to
+    fire, and finally *processed* after its callbacks ran.  Processes
+    wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception) once triggered."""
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """False when the event carries a failure (an exception)."""
+        return self._ok
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire carrying ``exception``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exception
+        self._ok = False
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires.
+
+        If the event was already processed the callback runs
+        immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class AnyOf(Event):
+    """Fires when the first of ``events`` fires.
+
+    The value is a dict mapping the fired event(s) to their values.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            event.add_callback(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed({event: event.value})
+
+
+class AllOf(Event):
+    """Fires once all of ``events`` fired.
+
+    The value is a dict mapping each event to its value.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            event.add_callback(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self._events})
+
+
+class Process(Event):
+    """A generator-based simulation process.
+
+    The generator yields :class:`Event` instances; the process resumes
+    when the yielded event fires, receiving the event's value as the
+    result of the ``yield`` expression.  The process itself is an event
+    that fires with the generator's return value, so processes can wait
+    on each other.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not finished yet."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        waiting_on = self._waiting_on
+        if waiting_on is not None and waiting_on.callbacks is not None:
+            try:
+                waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup.add_callback(lambda event: self._step(Interrupt(cause)))
+        wakeup.succeed()
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, throw: bool = True) -> None:
+        if isinstance(value, BaseException) and throw:
+            advance = lambda: self._generator.throw(value)
+        else:
+            advance = lambda: self._generator.send(value)
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if self.sim.strict:
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The simulation clock and event agenda.
+
+    Usage::
+
+        sim = Simulator()
+
+        def hello():
+            yield sim.timeout(3.0)
+            return "done"
+
+        proc = sim.process(hello())
+        sim.run()
+        assert sim.now == 3.0 and proc.value == "done"
+
+    Parameters
+    ----------
+    strict:
+        When true (the default), an exception escaping a process body
+        propagates out of :meth:`run` instead of silently failing the
+        process event.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.now: float = 0.0
+        self.strict = strict
+        self._agenda: list = []
+        self._sequence = 0
+
+    # -- event factories ------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a process from ``generator`` immediately."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing when every one of ``events`` fired."""
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay!r}")
+        self._sequence += 1
+        heapq.heappush(self._agenda, (self.now + delay, self._sequence, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._agenda[0][0] if self._agenda else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event on the agenda."""
+        if not self._agenda:
+            raise SimulationError("agenda is empty")
+        when, _seq, event = heapq.heappop(self._agenda)
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None, stop: Optional[Event] = None) -> Any:
+        """Run until the agenda drains, ``until`` is reached, or ``stop`` fires.
+
+        Returns the value of ``stop`` when given and fired.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until!r} lies in the past (now={self.now!r})")
+        while self._agenda:
+            if stop is not None and stop.processed:
+                return stop.value
+            if until is not None and self.peek() > until:
+                self.now = until
+                return stop.value if stop is not None and stop.processed else None
+            self.step()
+        if until is not None:
+            self.now = until
+        if stop is not None and stop.processed:
+            return stop.value
+        return None

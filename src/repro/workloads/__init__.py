@@ -1,0 +1,47 @@
+"""Workload generators and the paper's experimental catalog.
+
+* :mod:`repro.workloads.spec` — transaction-type and workload
+  specifications (the schema every generator fills in).
+* :mod:`repro.workloads.tpcc` / :mod:`repro.workloads.tpcw` — the
+  TPC-C-like and TPC-W-like mixes of Table 1, calibrated to the
+  saturation throughputs of Figures 2–5 and the paper's measured
+  demand variability (C² ≈ 1–1.5 for TPC-C, ≈ 15 for TPC-W).
+* :mod:`repro.workloads.synthetic` — H2 workloads with arbitrary C².
+* :mod:`repro.workloads.traces` — synthetic stand-ins for the paper's
+  proprietary online-retailer and auction-site traces (C² ≈ 2).
+* :mod:`repro.workloads.setups` — Table 1's six workloads and
+  Table 2's seventeen setups as data.
+"""
+
+from repro.workloads.spec import TransactionType, WorkloadSpec
+from repro.workloads.setups import (
+    SETUPS,
+    WORKLOADS,
+    Setup,
+    get_setup,
+    get_workload,
+)
+from repro.workloads.synthetic import synthetic_workload
+from repro.workloads.tpcc import tpcc_workload
+from repro.workloads.tpcw import tpcw_workload
+from repro.workloads.traces import (
+    auction_site_trace,
+    online_retailer_trace,
+    trace_workload,
+)
+
+__all__ = [
+    "SETUPS",
+    "Setup",
+    "TransactionType",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "auction_site_trace",
+    "get_setup",
+    "get_workload",
+    "online_retailer_trace",
+    "synthetic_workload",
+    "tpcc_workload",
+    "tpcw_workload",
+    "trace_workload",
+]

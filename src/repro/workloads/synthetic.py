@@ -1,0 +1,65 @@
+"""Synthetic single-type workloads with a dialled-in C².
+
+§4.2 of the paper analyzes response time for job-size C² ∈ {1, 2, 5,
+10, 15}; this builder produces matching simulation workloads (a single
+transaction type whose demand is a fitted H2/Erlang/exponential), used
+to cross-validate the Markov-chain model against the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.sim.distributions import Deterministic, fit_hyperexponential
+from repro.workloads.spec import TransactionType, WorkloadSpec
+
+
+def synthetic_workload(
+    name: str,
+    demand_mean_ms: float,
+    scv: float,
+    io_fraction: float = 0.0,
+    db_mb: int = 512,
+    disk_service_mean_ms: float = 8.0,
+    update_fraction_is_zero: bool = True,
+) -> WorkloadSpec:
+    """A one-type workload with total demand of the given mean and C².
+
+    Parameters
+    ----------
+    demand_mean_ms:
+        Mean total service demand per transaction (milliseconds).
+    scv:
+        Target squared coefficient of variation of the demand.
+    io_fraction:
+        Fraction of the mean demand delivered as disk reads rather
+        than CPU (0.0 = pure CPU).  The variability is carried by the
+        CPU part; the I/O part is a deterministic page count, so the
+        *total* demand keeps C² ≈ ``scv`` when ``io_fraction`` is
+        small.
+    """
+    if not 0.0 <= io_fraction < 1.0:
+        raise ValueError(f"io_fraction must be in [0, 1), got {io_fraction!r}")
+    if demand_mean_ms <= 0:
+        raise ValueError(f"demand_mean_ms must be positive, got {demand_mean_ms!r}")
+    cpu_mean_s = (demand_mean_ms / 1000.0) * (1.0 - io_fraction)
+    io_mean_s = (demand_mean_ms / 1000.0) * io_fraction
+    # Page touches that become this much disk time if every touch
+    # misses; the caller should pair this workload with a machine whose
+    # cache is smaller than the database.
+    pages = io_mean_s / (disk_service_mean_ms / 1000.0)
+    # Inflate the CPU C² so the total (CPU + deterministic I/O) hits scv.
+    total_mean = cpu_mean_s + io_mean_s
+    cpu_scv = scv * (total_mean / cpu_mean_s) ** 2 if cpu_mean_s > 0 else 0.0
+    tx_type = TransactionType(
+        name="synthetic",
+        weight=1.0,
+        cpu_demand=fit_hyperexponential(cpu_mean_s, cpu_scv),
+        page_accesses=Deterministic(pages),
+        is_update=False,
+    )
+    return WorkloadSpec(
+        name=name,
+        types=(tx_type,),
+        db_mb=db_mb,
+        benchmark="synthetic",
+        configuration=f"mean={demand_mean_ms}ms C2={scv}",
+    )

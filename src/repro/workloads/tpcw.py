@@ -1,0 +1,115 @@
+"""A TPC-W-like web-commerce transaction mix.
+
+TPC-W's web interactions translate into very uneven database work: most
+interactions (Home, Product Detail, Search) are light, while the Best
+Sellers query is infamously heavy — that skew is what gives TPC-W its
+measured demand variability of C² ≈ 15 (§3.2), an order of magnitude
+above TPC-C's.  We reproduce it structurally: light types with
+exponential demands plus a Best-Sellers type whose demand is itself a
+high-C² hyperexponential.  The resulting aggregate C² is ≈ 15 for the
+browsing mix and ≈ 10 for the ordering mix (verified by
+``tests/test_workloads.py``).
+
+The ordering mix shifts weight onto the buy path (cart updates, buy
+confirm), raising the update fraction and the exclusive-lock traffic on
+the hot stock rows — which is what makes ``W_CPU-ordering`` the
+paper's lock-bound workload (Figure 5b).
+"""
+
+from __future__ import annotations
+
+from repro.sim.distributions import Exponential, fit_hyperexponential
+from repro.workloads.spec import TransactionType, WorkloadSpec
+
+#: C² of the Best-Sellers interaction's own demand distribution.
+_BEST_SELLER_SCV = 8.0
+
+# name, weight, relative demand, heavy?, update, hot_x, shared, excl
+_BROWSING_PROFILE = (
+    ("Home", 0.29, 0.5, False, False, 0, 1, 0),
+    ("ProductDetail", 0.21, 0.6, False, False, 0, 2, 0),
+    ("Search", 0.23, 0.9, False, False, 0, 2, 0),
+    ("NewProducts", 0.11, 1.1, False, False, 0, 2, 0),
+    ("BestSellers", 0.11, 4.5, True, False, 0, 3, 0),
+    ("BuyPath", 0.05, 1.0, False, True, 1, 1, 2),
+)
+
+_ORDERING_PROFILE = (
+    ("Home", 0.16, 0.5, False, False, 0, 1, 0),
+    ("ProductDetail", 0.17, 0.6, False, False, 0, 2, 0),
+    ("Search", 0.20, 0.9, False, False, 0, 2, 0),
+    ("BestSellers", 0.05, 4.5, True, False, 0, 3, 0),
+    ("OrderInquiry", 0.06, 0.8, False, False, 0, 2, 0),
+    ("ShoppingCart", 0.14, 0.7, False, True, 1, 1, 1),
+    ("BuyRequest", 0.12, 0.9, False, True, 2, 1, 1),
+    ("BuyConfirm", 0.10, 1.4, False, True, 4, 1, 3),
+)
+
+_PROFILES = {"browsing": _BROWSING_PROFILE, "ordering": _ORDERING_PROFILE}
+
+
+def tpcw_workload(
+    name: str,
+    db_mb: int,
+    cpu_mean_ms: float,
+    pages_mean: float,
+    mix: str = "browsing",
+    emulated_browsers: int = 100,
+    configuration: str = "",
+) -> WorkloadSpec:
+    """Build a TPC-W-like workload.
+
+    Parameters
+    ----------
+    name:
+        Workload name (e.g. ``"W_CPU-browsing"``).
+    db_mb:
+        Database size (300 MB for the 140K-customer store, 2 GB for the
+        288K-customer one, per Table 1).
+    cpu_mean_ms / pages_mean:
+        Aggregate mean CPU demand and logical page touches.
+    mix:
+        ``"browsing"`` or ``"ordering"`` (TPC-W's two mixes).
+    emulated_browsers:
+        TPC-W scale metadata (EBs); recorded for reporting.
+    """
+    profile = _PROFILES.get(mix)
+    if profile is None:
+        raise ValueError(f"mix must be one of {sorted(_PROFILES)}, got {mix!r}")
+
+    demand_aggregate = sum(w * rel for _n, w, rel, _h, _u, _hx, _s, _x in profile)
+    cpu_unit = (cpu_mean_ms / 1000.0) / demand_aggregate
+    pages_unit = pages_mean / demand_aggregate
+
+    types = []
+    for type_name, weight, rel, heavy, update, hot_x, shared, excl in profile:
+        if heavy:
+            cpu_dist = fit_hyperexponential(rel * cpu_unit, _BEST_SELLER_SCV)
+            pages_dist = fit_hyperexponential(rel * pages_unit, _BEST_SELLER_SCV)
+        else:
+            cpu_dist = Exponential(rel * cpu_unit)
+            pages_dist = Exponential(rel * pages_unit)
+        types.append(
+            TransactionType(
+                name=type_name,
+                weight=weight,
+                cpu_demand=cpu_dist,
+                page_accesses=pages_dist,
+                is_update=update,
+                hot_locks=hot_x,
+                shared_locks=shared,
+                exclusive_locks=excl,
+            )
+        )
+    return WorkloadSpec(
+        name=name,
+        types=tuple(types),
+        db_mb=db_mb,
+        # The contended stock rows: the ordering mix funnels its buy
+        # path through a smaller set of popular items.
+        hot_set_size=60 if mix == "ordering" else 100,
+        item_space=200_000,
+        benchmark=f"TPC-W {mix.capitalize()}",
+        configuration=configuration
+        or f"{emulated_browsers} EBs, 10K items, {db_mb} MB",
+    )

@@ -1,0 +1,149 @@
+"""Tests for the buffer-pool models."""
+
+import random
+
+import pytest
+
+from repro.dbms.bufferpool import AnalyticBufferPool, LRUBufferPool
+
+
+class TestAnalyticBufferPool:
+    def test_everything_cached(self):
+        pool = AnalyticBufferPool(db_pages=100, pool_pages=200)
+        assert pool.hit_probability == 1.0
+
+    def test_hot_set_cached(self):
+        # pool exactly covers the hot 20% -> all hot accesses (80%) hit
+        pool = AnalyticBufferPool(db_pages=1000, pool_pages=200)
+        assert pool.hit_probability == pytest.approx(0.8)
+
+    def test_partial_hot_set(self):
+        # pool holds half the hot set
+        pool = AnalyticBufferPool(db_pages=1000, pool_pages=100)
+        assert pool.hit_probability == pytest.approx(0.4)
+
+    def test_hot_plus_some_cold(self):
+        pool = AnalyticBufferPool(db_pages=1000, pool_pages=600)
+        # hot 200 fully cached (0.8) + 400/800 of cold (0.2 * 0.5)
+        assert pool.hit_probability == pytest.approx(0.9)
+
+    def test_uniform_access(self):
+        pool = AnalyticBufferPool(
+            db_pages=1000, pool_pages=250,
+            hot_access_fraction=0.0, hot_page_fraction=1e-9,
+        )
+        assert pool.hit_probability == pytest.approx(0.25, abs=0.01)
+
+    def test_access_tracks_rate(self):
+        pool = AnalyticBufferPool(db_pages=1000, pool_pages=200)
+        rng = random.Random(3)
+        for _ in range(20_000):
+            pool.access(rng)
+        assert pool.observed_hit_rate == pytest.approx(0.8, abs=0.02)
+
+    def test_sample_misses_matches_probability_small(self):
+        pool = AnalyticBufferPool(db_pages=1000, pool_pages=200)  # miss 0.2
+        rng = random.Random(1)
+        total = sum(pool.sample_misses(rng, 50) for _ in range(4000))
+        assert total / (4000 * 50) == pytest.approx(0.2, abs=0.01)
+
+    def test_sample_misses_matches_probability_large(self):
+        pool = AnalyticBufferPool(db_pages=1000, pool_pages=200)
+        rng = random.Random(1)
+        total = sum(pool.sample_misses(rng, 500) for _ in range(1000))
+        assert total / (1000 * 500) == pytest.approx(0.2, abs=0.01)
+
+    def test_sample_misses_bounds(self):
+        pool = AnalyticBufferPool(db_pages=1000, pool_pages=200)
+        rng = random.Random(1)
+        for accesses in (0, 1, 64, 65, 1000):
+            misses = pool.sample_misses(rng, accesses)
+            assert 0 <= misses <= accesses
+
+    def test_sample_misses_fully_cached(self):
+        pool = AnalyticBufferPool(db_pages=10, pool_pages=100)
+        assert pool.sample_misses(random.Random(0), 100) == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            AnalyticBufferPool(db_pages=0, pool_pages=1)
+        with pytest.raises(ValueError):
+            AnalyticBufferPool(db_pages=1, pool_pages=1, hot_access_fraction=1.5)
+
+
+class TestLRUBufferPool:
+    def test_hit_and_miss(self):
+        pool = LRUBufferPool(capacity=2)
+        rng = random.Random(0)
+        assert pool.access(rng, 1) is False
+        assert pool.access(rng, 1) is True
+        assert pool.access(rng, 2) is False
+        assert pool.access(rng, 3) is False  # evicts 1
+        assert 1 not in pool
+        assert pool.access(rng, 2) is True
+
+    def test_access_refreshes_recency(self):
+        pool = LRUBufferPool(capacity=2)
+        rng = random.Random(0)
+        pool.access(rng, 1)
+        pool.access(rng, 2)
+        pool.access(rng, 1)  # 2 is now LRU
+        pool.access(rng, 3)  # evicts 2
+        assert 1 in pool and 3 in pool and 2 not in pool
+
+    def test_requires_page_id(self):
+        pool = LRUBufferPool(capacity=2)
+        with pytest.raises(ValueError):
+            pool.access(random.Random(0), None)
+
+    def test_len_capped(self):
+        pool = LRUBufferPool(capacity=3)
+        rng = random.Random(0)
+        for page in range(10):
+            pool.access(rng, page)
+        assert len(pool) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUBufferPool(capacity=0)
+
+
+def test_analytic_matches_exact_lru_on_skewed_accesses():
+    """Cross-validation: the analytic model tracks a real LRU cache.
+
+    Accesses follow the 80/20 skew the analytic model assumes.  The
+    closed form ("the cache retains the hottest pages") is an upper
+    bound right at the pool == hot-set boundary where cold accesses
+    pollute a real LRU, so the comparison uses a comfortably larger
+    pool, where the approximation is tight.
+    """
+    db_pages, pool_pages = 2000, 1200  # pool well above the 400-page hot set
+    analytic = AnalyticBufferPool(db_pages, pool_pages)
+    lru = LRUBufferPool(pool_pages)
+    rng = random.Random(7)
+    hot_pages = int(0.2 * db_pages)
+    for _ in range(120_000):
+        if rng.random() < 0.8:
+            page = rng.randrange(hot_pages)
+        else:
+            page = hot_pages + rng.randrange(db_pages - hot_pages)
+        lru.access(rng, page)
+    assert lru.observed_hit_rate == pytest.approx(
+        analytic.hit_probability, abs=0.07
+    )
+
+
+def test_analytic_is_upper_bound_at_the_boundary():
+    """At pool == hot set, a real LRU hits less than the closed form."""
+    db_pages, pool_pages = 2000, 400
+    analytic = AnalyticBufferPool(db_pages, pool_pages)
+    lru = LRUBufferPool(pool_pages)
+    rng = random.Random(7)
+    hot_pages = int(0.2 * db_pages)
+    for _ in range(60_000):
+        if rng.random() < 0.8:
+            page = rng.randrange(hot_pages)
+        else:
+            page = hot_pages + rng.randrange(db_pages - hot_pages)
+        lru.access(rng, page)
+    assert lru.observed_hit_rate <= analytic.hit_probability

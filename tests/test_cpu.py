@@ -1,0 +1,174 @@
+"""Tests for the weighted processor-sharing CPU pool."""
+
+import pytest
+
+from repro.dbms.cpu import ProcessorSharingPool
+from repro.sim.engine import Simulator
+
+
+def _finish_time(sim, event):
+    done = {}
+    event.add_callback(lambda e: done.setdefault("t", sim.now))
+    return done
+
+
+def test_single_job_runs_at_full_speed():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=1)
+    record = _finish_time(sim, cpu.execute(2.0))
+    sim.run()
+    assert record["t"] == pytest.approx(2.0)
+
+
+def test_two_equal_jobs_share_one_core():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=1)
+    first = _finish_time(sim, cpu.execute(1.0))
+    second = _finish_time(sim, cpu.execute(1.0))
+    sim.run()
+    # both progress at rate 1/2, finishing together at t=2
+    assert first["t"] == pytest.approx(2.0)
+    assert second["t"] == pytest.approx(2.0)
+
+
+def test_two_jobs_on_two_cores_run_independently():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=2)
+    first = _finish_time(sim, cpu.execute(1.0))
+    second = _finish_time(sim, cpu.execute(3.0))
+    sim.run()
+    assert first["t"] == pytest.approx(1.0)
+    assert second["t"] == pytest.approx(3.0)
+
+
+def test_single_job_cannot_use_two_cores():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=2)
+    record = _finish_time(sim, cpu.execute(2.0))
+    sim.run()
+    assert record["t"] == pytest.approx(2.0)  # capped at one core
+
+
+def test_three_jobs_two_cores_processor_sharing():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=2)
+    records = [_finish_time(sim, cpu.execute(1.0)) for _ in range(3)]
+    sim.run()
+    # each runs at 2/3 until the pool drains; equal demands finish together
+    for record in records:
+        assert record["t"] == pytest.approx(1.5)
+
+
+def test_late_arrival_slows_running_job():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=1)
+    first = _finish_time(sim, cpu.execute(2.0))
+
+    def late():
+        yield sim.timeout(1.0)
+        second = cpu.execute(1.0)
+        record = _finish_time(sim, second)
+        return record
+
+    process = sim.process(late())
+    sim.run()
+    # first runs alone [0,1) (1 unit done), shares [1,3) (rate 1/2):
+    # finishes at 3.  The late 1-unit job also finishes at 3.
+    assert first["t"] == pytest.approx(3.0)
+    assert process.value["t"] == pytest.approx(3.0)
+
+
+def test_weighted_sharing_ratio():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=1)
+    heavy = _finish_time(sim, cpu.execute(3.0, weight=3.0))
+    light = _finish_time(sim, cpu.execute(1.0, weight=1.0))
+    sim.run()
+    # rates 3/4 and 1/4; both need time 4 for their demand
+    assert heavy["t"] == pytest.approx(4.0)
+    assert light["t"] == pytest.approx(4.0)
+
+
+def test_weight_cap_at_one_core():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=2)
+    # huge weight still limited to one core
+    vip = _finish_time(sim, cpu.execute(1.0, weight=100.0))
+    other = _finish_time(sim, cpu.execute(1.0, weight=1.0))
+    sim.run()
+    assert vip["t"] == pytest.approx(1.0)
+    assert other["t"] == pytest.approx(1.0)  # spare core serves it fully
+
+
+def test_zero_demand_completes_immediately():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=1)
+    event = cpu.execute(0.0)
+    assert event.triggered
+
+
+def test_busy_core_time_tracks_work():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=1)
+    cpu.execute(2.0)
+    sim.run()
+    assert cpu.busy_core_time == pytest.approx(2.0)
+    assert cpu.utilization(4.0) == pytest.approx(0.5)
+
+
+def test_work_completed_accumulates():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=1)
+    cpu.execute(1.5)
+    cpu.execute(0.5)
+    sim.run()
+    assert cpu.work_completed == pytest.approx(2.0)
+
+
+def test_speed_scales_service():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=1, speed=2.0)
+    record = _finish_time(sim, cpu.execute(2.0))
+    sim.run()
+    assert record["t"] == pytest.approx(1.0)
+
+
+def test_invalid_arguments():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ProcessorSharingPool(sim, cores=0)
+    cpu = ProcessorSharingPool(sim, cores=1)
+    with pytest.raises(ValueError):
+        cpu.execute(-1.0)
+    with pytest.raises(ValueError):
+        cpu.execute(1.0, weight=0.0)
+
+
+def test_active_jobs_counter():
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=1)
+    cpu.execute(1.0)
+    cpu.execute(1.0)
+    assert cpu.active_jobs == 2
+    sim.run()
+    assert cpu.active_jobs == 0
+
+
+def test_many_jobs_conservation():
+    """Total work served equals total demand regardless of arrival mix."""
+    sim = Simulator()
+    cpu = ProcessorSharingPool(sim, cores=3)
+    demands = [0.5, 1.0, 1.5, 2.0, 0.25, 0.75]
+
+    def submit(delay, demand):
+        def proc():
+            yield sim.timeout(delay)
+            yield cpu.execute(demand)
+
+        sim.process(proc())
+
+    for index, demand in enumerate(demands):
+        submit(index * 0.2, demand)
+    sim.run()
+    assert cpu.work_completed == pytest.approx(sum(demands))
+    assert cpu.busy_core_time == pytest.approx(sum(demands))

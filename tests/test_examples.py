@@ -1,0 +1,68 @@
+"""The examples must stay runnable: execute each in a subprocess.
+
+The heavyweight ones are exercised with reduced work via environment
+independence — they are plain scripts, so we simply run them and check
+for a zero exit and the expected headline output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name, timeout=420):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "ecommerce_priority.py",
+        "mpl_autotuning.py",
+        "capacity_planning.py",
+        "open_system_response_time.py",
+    } <= names
+
+
+def test_quickstart_runs():
+    proc = _run("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "unlimited" in proc.stdout
+    assert "throughput" in proc.stdout
+
+
+def test_capacity_planning_runs():
+    proc = _run("capacity_planning.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Figure 7" in proc.stdout or "linear" in proc.stdout
+
+
+@pytest.mark.slow
+def test_mpl_autotuning_runs():
+    proc = _run("mpl_autotuning.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "final MPL" in proc.stdout
+
+
+@pytest.mark.slow
+def test_ecommerce_priority_runs():
+    proc = _run("ecommerce_priority.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "VIP" in proc.stdout
+
+
+@pytest.mark.slow
+def test_open_system_example_runs():
+    proc = _run("open_system_response_time.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "C^2 = 15" in proc.stdout

@@ -1,0 +1,75 @@
+"""Tests for the textbook reference formulas."""
+
+import pytest
+
+from repro.queueing.mg1 import (
+    erlang_c,
+    mg1_fifo_response_time,
+    mg1_ps_response_time,
+    mm1_response_time,
+    mmk_response_time,
+)
+
+
+def test_mm1_known_value():
+    # rho = 0.5 -> E[T] = E[S]/(1-rho) = 2 E[S]
+    assert mm1_response_time(0.5, 1.0) == pytest.approx(2.0)
+
+
+def test_mg1_fifo_reduces_to_mm1_for_scv_one():
+    assert mg1_fifo_response_time(0.5, 1.0, 1.0) == pytest.approx(
+        mm1_response_time(0.5, 1.0)
+    )
+
+
+def test_mg1_fifo_grows_with_scv():
+    low = mg1_fifo_response_time(0.5, 1.0, 1.0)
+    high = mg1_fifo_response_time(0.5, 1.0, 15.0)
+    assert high > 4 * low
+
+
+def test_mg1_ps_insensitive_to_scv():
+    # PS formula only takes load; sanity: equals M/M/1
+    assert mg1_ps_response_time(0.7, 1.0) == pytest.approx(1.0 / 0.3)
+
+
+def test_deterministic_fifo_halves_waiting():
+    # M/D/1 waiting is half of M/M/1 waiting
+    md1 = mg1_fifo_response_time(0.5, 1.0, 0.0) - 1.0
+    mm1 = mg1_fifo_response_time(0.5, 1.0, 1.0) - 1.0
+    assert md1 == pytest.approx(mm1 / 2)
+
+
+def test_erlang_c_single_server_is_rho():
+    assert erlang_c(1, 0.6) == pytest.approx(0.6)
+
+
+def test_erlang_c_two_servers_known_value():
+    # offered 1.0 erlang over 2 servers: C(2, 1.0) = 1/3
+    assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+
+def test_mmk_reduces_to_mm1():
+    assert mmk_response_time(0.5, 1.0, 1) == pytest.approx(
+        mm1_response_time(0.5, 1.0)
+    )
+
+
+def test_mmk_beats_mm1_at_same_total_load():
+    # two servers at the same per-server load wait less than one
+    one = mm1_response_time(0.8, 1.0)
+    two = mmk_response_time(1.6, 1.0, 2)
+    assert two < one
+
+
+def test_load_validation():
+    with pytest.raises(ValueError):
+        mm1_response_time(1.0, 1.0)
+    with pytest.raises(ValueError):
+        mg1_fifo_response_time(2.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        erlang_c(2, 2.0)
+    with pytest.raises(ValueError):
+        erlang_c(0, 0.5)
+    with pytest.raises(ValueError):
+        mg1_fifo_response_time(0.5, 1.0, -1.0)

@@ -1,0 +1,113 @@
+"""Tests for the exact MVA solver."""
+
+import pytest
+
+from repro.queueing.mva import (
+    MvaResult,
+    Station,
+    balanced_throughput_fraction,
+    mva,
+)
+
+
+def test_single_station_single_job():
+    result = mva([Station("cpu", demand=2.0)], population=1)
+    assert result.throughput(1) == pytest.approx(0.5)
+
+
+def test_single_station_saturates():
+    result = mva([Station("cpu", demand=2.0)], population=50)
+    assert result.throughput(50) == pytest.approx(0.5, rel=1e-6)
+    assert result.max_throughput == pytest.approx(0.5)
+
+
+def test_balanced_network_matches_closed_form():
+    """For M identical stations: X(n) = n / (D (n + M - 1)) exactly."""
+    stations = [Station(f"s{i}", demand=1.0) for i in range(4)]
+    result = mva(stations, population=20)
+    for n in range(1, 21):
+        expected = n / (n + 4 - 1)
+        assert result.throughput(n) == pytest.approx(expected, rel=1e-9)
+        assert balanced_throughput_fraction(4, n) == pytest.approx(expected)
+
+
+def test_unbalanced_bottleneck_dominates():
+    stations = [Station("fast", demand=0.5), Station("slow", demand=2.0)]
+    result = mva(stations, population=40)
+    assert result.throughput(40) == pytest.approx(0.5, rel=0.01)
+    assert result.max_throughput == pytest.approx(0.5)
+
+
+def test_throughput_monotone_in_population():
+    stations = [Station("a", demand=1.0), Station("b", demand=0.7)]
+    result = mva(stations, population=30)
+    throughputs = result.throughputs
+    assert all(b >= a - 1e-12 for a, b in zip(throughputs, throughputs[1:]))
+
+
+def test_delay_station_adds_think_time():
+    # interactive response time law: X = N / (R + Z)
+    result = mva(
+        [Station("cpu", demand=1.0), Station("think", demand=9.0, delay=True)],
+        population=1,
+    )
+    assert result.throughput(1) == pytest.approx(0.1)
+
+
+def test_multiserver_station_matches_two_singles_at_high_load():
+    """A 2-server station saturates at 2/D like two parallel servers."""
+    result = mva([Station("pool", demand=1.0, servers=2)], population=40)
+    assert result.throughput(40) == pytest.approx(2.0, rel=0.01)
+    assert result.max_throughput == pytest.approx(2.0)
+
+
+def test_multiserver_one_job_sees_no_queueing():
+    result = mva([Station("pool", demand=1.0, servers=4)], population=1)
+    assert result.throughput(1) == pytest.approx(1.0)
+
+
+def test_multiserver_marginal_probabilities_consistent():
+    # queue lengths from the load-dependent recursion must sum to N
+    stations = [
+        Station("pool", demand=1.0, servers=2),
+        Station("disk", demand=0.8),
+    ]
+    result = mva(stations, population=10)
+    total_queue = sum(result.queue_lengths[-1].values())
+    assert total_queue == pytest.approx(10.0, rel=1e-6)
+
+
+def test_queue_lengths_sum_to_population_single_servers():
+    stations = [Station(f"s{i}", demand=1.0 + 0.1 * i) for i in range(3)]
+    result = mva(stations, population=12)
+    assert sum(result.queue_lengths[-1].values()) == pytest.approx(12.0, rel=1e-9)
+
+
+def test_relative_throughput_bounds():
+    result = mva([Station("a", demand=1.0)], population=5)
+    for n in range(1, 6):
+        assert 0.0 < result.relative_throughput(n) <= 1.0
+
+
+def test_population_validation():
+    with pytest.raises(ValueError):
+        mva([Station("a", demand=1.0)], population=0)
+    with pytest.raises(ValueError):
+        mva([], population=1)
+    result = mva([Station("a", demand=1.0)], population=3)
+    with pytest.raises(ValueError):
+        result.throughput(4)
+
+
+def test_station_validation():
+    with pytest.raises(ValueError):
+        Station("bad", demand=-1.0)
+    with pytest.raises(ValueError):
+        Station("bad", demand=1.0, servers=0)
+
+
+def test_balanced_fraction_validation():
+    with pytest.raises(ValueError):
+        balanced_throughput_fraction(0, 1)
+    with pytest.raises(ValueError):
+        balanced_throughput_fraction(1, 0)

@@ -1,0 +1,78 @@
+"""Tests for the external-queue policies."""
+
+import pytest
+
+from repro.core.policies import (
+    FifoPolicy,
+    PriorityPolicy,
+    SjfPolicy,
+    make_policy,
+)
+from repro.dbms.transaction import Priority, Transaction
+
+
+def _tx(tid, priority=Priority.LOW, cpu=0.01):
+    return Transaction(
+        tid=tid, type_name="t", cpu_demand=cpu, page_accesses=0, priority=priority
+    )
+
+
+class TestFifoPolicy:
+    def test_order(self):
+        policy = FifoPolicy()
+        for tid in (1, 2, 3):
+            policy.push(_tx(tid))
+        assert [policy.pop().tid for _ in range(3)] == [1, 2, 3]
+
+    def test_len_and_bool(self):
+        policy = FifoPolicy()
+        assert not policy
+        policy.push(_tx(1))
+        assert policy and len(policy) == 1
+
+
+class TestPriorityPolicy:
+    def test_high_first(self):
+        policy = PriorityPolicy()
+        policy.push(_tx(1, Priority.LOW))
+        policy.push(_tx(2, Priority.HIGH))
+        policy.push(_tx(3, Priority.LOW))
+        policy.push(_tx(4, Priority.HIGH))
+        assert [policy.pop().tid for _ in range(4)] == [2, 4, 1, 3]
+
+    def test_fifo_within_class(self):
+        policy = PriorityPolicy()
+        for tid in (1, 2, 3):
+            policy.push(_tx(tid, Priority.HIGH))
+        assert [policy.pop().tid for _ in range(3)] == [1, 2, 3]
+
+
+class TestSjfPolicy:
+    def test_shortest_first(self):
+        policy = SjfPolicy()
+        policy.push(_tx(1, cpu=0.030))
+        policy.push(_tx(2, cpu=0.010))
+        policy.push(_tx(3, cpu=0.020))
+        assert [policy.pop().tid for _ in range(3)] == [2, 3, 1]
+
+    def test_custom_estimator(self):
+        policy = SjfPolicy(estimator=lambda tx: -tx.cpu_demand)  # longest first
+        policy.push(_tx(1, cpu=0.010))
+        policy.push(_tx(2, cpu=0.030))
+        assert policy.pop().tid == 2
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("fifo", FifoPolicy), ("priority", PriorityPolicy), ("sjf", SjfPolicy)],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("FIFO"), FifoPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("lifo")

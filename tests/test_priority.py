@@ -1,0 +1,88 @@
+"""Tests for prioritization: assignment and evaluation (§5)."""
+
+import random
+
+import pytest
+
+from repro.dbms.config import InternalPolicy
+from repro.dbms.transaction import Priority
+from repro.priority.assignment import PriorityAssignment
+from repro.priority.evaluation import (
+    evaluate_external_prioritization,
+    evaluate_internal_prioritization,
+)
+from repro.workloads.setups import get_setup
+
+
+class TestPriorityAssignment:
+    def test_fraction_respected(self):
+        assignment = PriorityAssignment(high_fraction=0.10)
+        rng = random.Random(1)
+        draws = [assignment.assign(rng) for _ in range(20_000)]
+        fraction = sum(1 for d in draws if d == Priority.HIGH) / len(draws)
+        assert fraction == pytest.approx(0.10, abs=0.01)
+
+    def test_per_client_is_sticky(self):
+        assignment = PriorityAssignment(high_fraction=0.5, per_client=True, seed=3)
+        rng = random.Random(1)
+        first = assignment.assign(rng, client_id=7)
+        for _ in range(10):
+            assert assignment.assign(rng, client_id=7) == first
+
+    def test_zero_and_one_fractions(self):
+        rng = random.Random(1)
+        always_low = PriorityAssignment(high_fraction=0.0)
+        always_high = PriorityAssignment(high_fraction=1.0)
+        assert all(always_low.assign(rng) == Priority.LOW for _ in range(50))
+        assert all(always_high.assign(rng) == Priority.HIGH for _ in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriorityAssignment(high_fraction=1.5)
+
+
+class TestExternalPrioritization:
+    def test_low_mpl_differentiates_strongly(self):
+        outcome = evaluate_external_prioritization(
+            get_setup(1), mpl=5, transactions=900, seed=4
+        )
+        assert outcome.high < outcome.low
+        assert outcome.differentiation > 3.0
+        # low-priority suffering stays bounded (paper: ~1.15-1.4x)
+        assert outcome.low_penalty < 2.0
+
+    def test_unlimited_mpl_removes_differentiation(self):
+        outcome = evaluate_external_prioritization(
+            get_setup(1), mpl=None, transactions=900, seed=4
+        )
+        assert outcome.differentiation < 2.0
+
+    def test_lower_mpl_gives_more_differentiation(self):
+        tight = evaluate_external_prioritization(
+            get_setup(1), mpl=4, transactions=900, seed=4
+        )
+        loose = evaluate_external_prioritization(
+            get_setup(1), mpl=30, transactions=900, seed=4
+        )
+        assert tight.differentiation > loose.differentiation
+
+
+class TestInternalPrioritization:
+    def test_pow_locks_differentiate_on_lock_bound_setup(self):
+        outcome = evaluate_internal_prioritization(
+            get_setup(1), InternalPolicy.pow_locks(), transactions=900, seed=4
+        )
+        assert outcome.differentiation > 2.0
+
+    def test_cpu_weights_differentiate_on_cpu_bound_setup(self):
+        outcome = evaluate_internal_prioritization(
+            get_setup(3), InternalPolicy.cpu_priorities(), transactions=500, seed=4
+        )
+        assert outcome.high < outcome.low
+
+    def test_outcome_metrics_consistent(self):
+        outcome = evaluate_internal_prioritization(
+            get_setup(1), InternalPolicy.pow_locks(), transactions=600, seed=4
+        )
+        assert outcome.overall_penalty > 0
+        assert 0.0 <= outcome.throughput_loss < 1.0

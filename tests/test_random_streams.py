@@ -1,0 +1,49 @@
+"""Tests for named random streams."""
+
+from repro.sim.random import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(42).stream("arrivals")
+    b = RandomStreams(42).stream("arrivals")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_differ():
+    streams = RandomStreams(42)
+    a = streams.stream("arrivals")
+    b = streams.stream("service")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x")
+    b = RandomStreams(2).stream("x")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_creation_order_does_not_matter():
+    first = RandomStreams(9)
+    first.stream("a")
+    a_then = first.stream("b").random()
+    second = RandomStreams(9)
+    b_only = second.stream("b").random()
+    assert a_then == b_only
+
+
+def test_spawn_is_independent():
+    parent = RandomStreams(5)
+    child = parent.spawn("worker")
+    assert child.seed != parent.seed
+    assert parent.stream("x").random() != child.stream("x").random()
+
+
+def test_spawn_is_reproducible():
+    a = RandomStreams(5).spawn("worker").stream("x").random()
+    b = RandomStreams(5).spawn("worker").stream("x").random()
+    assert a == b

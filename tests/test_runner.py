@@ -1,0 +1,62 @@
+"""Tests for the experiment runner helpers."""
+
+import pytest
+
+from repro.core.controller import Thresholds
+from repro.dbms.config import InternalPolicy, IsolationLevel
+from repro.experiments.runner import (
+    find_min_mpl_experimental,
+    setup_config,
+    tune_setup,
+)
+from repro.workloads.setups import get_setup
+
+
+class TestSetupConfig:
+    def test_carries_setup_pieces(self):
+        setup = get_setup(14)  # UR isolation
+        config = setup_config(setup, mpl=7, policy="priority")
+        assert config.isolation is IsolationLevel.UR
+        assert config.mpl == 7
+        assert config.policy == "priority"
+        assert config.hardware == setup.hardware
+
+    def test_internal_policy_forwarded(self):
+        config = setup_config(get_setup(1), internal=InternalPolicy.pow_locks())
+        assert config.internal.lock_scheduling.value == "pow"
+
+    def test_open_mode(self):
+        config = setup_config(get_setup(1), arrival_rate=25.0)
+        assert config.arrival_rate == 25.0
+
+
+class TestTuneSetup:
+    def test_produces_converging_result(self):
+        tuning = tune_setup(get_setup(1), transactions=600)
+        assert tuning.final_mpl >= 1
+        assert tuning.report.iterations >= 1
+        assert tuning.baseline.throughput > 0
+
+    def test_looser_budget_allows_lower_mpl(self):
+        tight = tune_setup(get_setup(8), max_throughput_loss=0.05,
+                           transactions=500)
+        loose = tune_setup(get_setup(8), max_throughput_loss=0.30,
+                           transactions=500)
+        assert loose.final_mpl <= tight.final_mpl
+
+
+class TestFindMinMpl:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_min_mpl_experimental(get_setup(1), fraction=0.0)
+
+    def test_min_mpl_increases_with_fraction(self):
+        relaxed = find_min_mpl_experimental(
+            get_setup(2), fraction=0.6,
+            candidate_mpls=(1, 2, 4, 8, 16), transactions=400,
+        )
+        strict = find_min_mpl_experimental(
+            get_setup(2), fraction=0.95,
+            candidate_mpls=(1, 2, 4, 8, 16), transactions=400,
+        )
+        assert strict.min_mpl >= relaxed.min_mpl

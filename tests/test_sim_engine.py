@@ -1,0 +1,278 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(2.5)
+    sim.run()
+    assert sim.now == 2.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=0.5)
+
+
+def test_process_receives_timeout_value():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="hello")
+        seen.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == ["hello"]
+
+
+def test_process_return_value_becomes_event_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return 42
+
+    process = sim.process(proc())
+    sim.run()
+    assert process.value == 42
+    assert process.processed
+
+
+def test_processes_wait_on_each_other():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(2.0)
+        return "inner-done"
+
+    def outer():
+        result = yield sim.process(inner())
+        return result + "!"
+
+    process = sim.process(outer())
+    sim.run()
+    assert process.value == "inner-done!"
+    assert sim.now == 2.0
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+
+    def make(name):
+        def proc():
+            yield sim.timeout(1.0)
+            order.append(name)
+
+        return proc
+
+    for name in "abc":
+        sim.process(make(name)())
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_succeed_twice_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_failed_event_raises_inside_process():
+    sim = Simulator()
+    caught = []
+
+    def proc():
+        event = sim.event()
+        event.fail(ValueError("boom"))
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(proc())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_exception_escaping_process_propagates_in_strict_mode():
+    sim = Simulator(strict=True)
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise RuntimeError("bug in process")
+
+    sim.process(proc())
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_exception_fails_process_event_in_lenient_mode():
+    sim = Simulator(strict=False)
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise RuntimeError("bug")
+
+    process = sim.process(proc())
+    sim.run()
+    assert not process.ok
+    assert isinstance(process.value, RuntimeError)
+
+
+def test_interrupt_is_raised_in_target():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append(("interrupted", sim.now, interrupt.cause))
+
+    def attacker(target):
+        yield sim.timeout(1.0)
+        target.interrupt("because")
+
+    target = sim.process(victim())
+    sim.process(attacker(target))
+    sim.run()
+    assert log == [("interrupted", 1.0, "because")]
+
+
+def test_interrupting_finished_process_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    process = sim.process(proc())
+    sim.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        first = sim.timeout(5.0, value="slow")
+        second = sim.timeout(1.0, value="fast")
+        fired = yield sim.any_of([first, second])
+        results.append(list(fired.values()))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [["fast"]]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        events = [sim.timeout(t, value=t) for t in (1.0, 3.0, 2.0)]
+        fired = yield sim.all_of(events)
+        results.append(sorted(fired.values()))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [[1.0, 2.0, 3.0]]
+    assert sim.now == 3.0
+
+
+def test_empty_any_of_and_all_of_fire_immediately():
+    sim = Simulator()
+    any_event = AnyOf(sim, [])
+    all_event = AllOf(sim, [])
+    sim.run()
+    assert any_event.processed and all_event.processed
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def proc():
+        yield 42  # type: ignore[misc]
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    assert sim.peek() == 4.0
+
+
+def test_step_on_empty_agenda_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_run_with_stop_event():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(2.0)
+        return "stopped"
+
+    process = sim.process(proc())
+    sim.timeout(100.0)
+    value = sim.run(stop=process)
+    assert value == "stopped"
+    assert sim.now == 2.0
+
+
+def test_callback_after_processed_runs_immediately():
+    sim = Simulator()
+    event = sim.timeout(1.0, value="x")
+    sim.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]

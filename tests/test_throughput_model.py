@@ -1,0 +1,113 @@
+"""Tests for the Figure 6/7 throughput-vs-MPL model."""
+
+import pytest
+
+from repro.queueing.throughput_model import ThroughputModel, balanced_min_mpl
+
+
+class TestBalancedModel:
+    def test_single_resource_needs_mpl_one(self):
+        model = ThroughputModel.balanced(1)
+        assert model.relative_throughput(1) == pytest.approx(1.0)
+        assert model.min_mpl_for_fraction(0.95) == 1
+
+    def test_relative_throughput_closed_form(self):
+        model = ThroughputModel.balanced(4)
+        for mpl in (1, 2, 5, 10, 50):
+            assert model.relative_throughput(mpl) == pytest.approx(
+                mpl / (mpl + 3), rel=1e-9
+            )
+
+    def test_min_mpl_matches_closed_form(self):
+        for resources in (1, 2, 3, 4, 8, 16):
+            model = ThroughputModel.balanced(resources)
+            for fraction in (0.80, 0.95):
+                assert model.min_mpl_for_fraction(fraction) == balanced_min_mpl(
+                    resources, fraction
+                )
+
+    def test_paper_figure7_linearity(self):
+        """The 80% and 95% minimum MPLs are linear in the disk count."""
+        mpls_80 = [balanced_min_mpl(m, 0.80) for m in range(2, 17)]
+        mpls_95 = [balanced_min_mpl(m, 0.95) for m in range(2, 17)]
+        diffs_80 = {b - a for a, b in zip(mpls_80, mpls_80[1:])}
+        diffs_95 = {b - a for a, b in zip(mpls_95, mpls_95[1:])}
+        assert diffs_80 == {4}  # slope f/(1-f) = 4 at 80%
+        assert diffs_95 == {19}  # slope 19 at 95%
+
+    def test_more_resources_need_higher_mpl(self):
+        values = [
+            ThroughputModel.balanced(m).min_mpl_for_fraction(0.9)
+            for m in (1, 2, 4, 8)
+        ]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+
+class TestUnbalancedModel:
+    def test_bottleneck_only_counts(self):
+        # one fast, one dominant resource: behaves nearly like 1 resource
+        model = ThroughputModel([1.0, 0.05])
+        assert model.min_mpl_for_fraction(0.9) <= 3
+
+    def test_throughput_curve_monotone(self):
+        model = ThroughputModel([1.0, 0.6, 0.3])
+        curve = model.throughput_curve(30)
+        assert all(b >= a - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_multiserver_resources(self):
+        model = ThroughputModel([1.0], servers=[2])
+        assert model.relative_throughput(2) == pytest.approx(1.0, rel=0.01)
+
+
+class TestFromUtilizations:
+    def test_insignificant_resources_dropped(self):
+        model = ThroughputModel.from_utilizations(
+            {"cpu": 0.95, "disk": 0.05, "log": 0.01}
+        )
+        assert len(model.stations) == 1
+
+    def test_counts_expand_resources(self):
+        model = ThroughputModel.from_utilizations(
+            {"disk": 0.9}, counts={"disk": 4}
+        )
+        assert len(model.stations) == 4
+
+    def test_demands_proportional_to_utilization(self):
+        model = ThroughputModel.from_utilizations({"cpu": 0.9, "disk": 0.45})
+        demands = sorted(s.demand for s in model.stations)
+        assert demands == pytest.approx([0.5, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputModel.from_utilizations({})
+        with pytest.raises(ValueError):
+            ThroughputModel.from_utilizations({"cpu": 0.0})
+
+
+class TestValidation:
+    def test_bad_fraction(self):
+        model = ThroughputModel.balanced(2)
+        with pytest.raises(ValueError):
+            model.min_mpl_for_fraction(0.0)
+        with pytest.raises(ValueError):
+            model.min_mpl_for_fraction(1.0)
+
+    def test_bad_demands(self):
+        with pytest.raises(ValueError):
+            ThroughputModel([])
+        with pytest.raises(ValueError):
+            ThroughputModel([0.0])
+        with pytest.raises(ValueError):
+            ThroughputModel([1.0], servers=[1, 2])
+
+    def test_unreachable_fraction(self):
+        model = ThroughputModel.balanced(4)
+        with pytest.raises(ValueError):
+            model.min_mpl_for_fraction(0.9999, max_mpl=10)
+
+
+def test_think_time_station():
+    model = ThroughputModel([1.0], think_time=9.0)
+    # with N=1 and Z=9: X = 1/(1+9) = 0.1 -> relative = 0.1
+    assert model.throughput(1) == pytest.approx(0.1)

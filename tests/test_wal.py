@@ -1,0 +1,70 @@
+"""Tests for the WAL log manager."""
+
+import random
+
+import pytest
+
+from repro.dbms.wal import LogManager
+from repro.sim.distributions import Deterministic
+from repro.sim.engine import Simulator
+
+
+def _completion_times(sim, events):
+    times = {}
+    for index, event in enumerate(events):
+        event.add_callback(lambda e, i=index: times.setdefault(i, sim.now))
+    return times
+
+
+def test_single_commit_takes_one_write():
+    sim = Simulator()
+    log = LogManager(sim, Deterministic(0.002), random.Random(0))
+    times = _completion_times(sim, [log.commit()])
+    sim.run()
+    assert times[0] == pytest.approx(0.002)
+    assert log.writes == 1
+
+
+def test_group_commit_batches_concurrent_commits():
+    sim = Simulator()
+    log = LogManager(sim, Deterministic(1.0), random.Random(0), group_commit=True)
+    first = log.commit()  # starts the write immediately
+
+    def late_commits():
+        yield sim.timeout(0.5)
+        # both arrive during the in-flight write -> share the next one
+        a = log.commit()
+        b = log.commit()
+        times = _completion_times(sim, [a, b])
+        return times
+
+    process = sim.process(late_commits())
+    times0 = _completion_times(sim, [first])
+    sim.run()
+    assert times0[0] == pytest.approx(1.0)
+    assert process.value[0] == pytest.approx(2.0)
+    assert process.value[1] == pytest.approx(2.0)
+    assert log.writes == 2
+    assert log.commits == 3
+
+
+def test_without_group_commit_each_write_separate():
+    sim = Simulator()
+    log = LogManager(sim, Deterministic(1.0), random.Random(0), group_commit=False)
+    events = [log.commit() for _ in range(3)]
+    times = _completion_times(sim, events)
+    sim.run()
+    assert times[0] == pytest.approx(1.0)
+    assert times[1] == pytest.approx(2.0)
+    assert times[2] == pytest.approx(3.0)
+    assert log.writes == 3
+
+
+def test_busy_time_and_utilization():
+    sim = Simulator()
+    log = LogManager(sim, Deterministic(0.5), random.Random(0))
+    log.commit()
+    sim.run()
+    assert log.busy_time == pytest.approx(0.5)
+    assert log.utilization(1.0) == pytest.approx(0.5)
+    assert log.utilization(0.0) == 0.0
