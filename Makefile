@@ -1,0 +1,44 @@
+# One entry point per CI job, so local runs and CI are identical.
+#
+#   make test        tier-1 test suite (what CI's test matrix runs)
+#   make lint        ruff (falls back to a syntax check if ruff is absent)
+#   make bench       parallel-runner benchmark -> BENCH_smoke.json
+#   make reproduce   every figure and table, parallel, cached
+#
+# JOBS and CACHE_DIR are overridable: `make reproduce JOBS=16`.
+
+PYTHON      ?= python
+JOBS        ?= 4
+CACHE_DIR   ?= .repro-cache
+# bench gets its own cache so its cold pass stays cold even after
+# `make reproduce` warmed the main cache
+BENCH_CACHE ?= .repro-bench-cache
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test lint bench reproduce smoke clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; falling back to a syntax check"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
+
+bench:
+	rm -rf $(BENCH_CACHE)
+	$(PYTHON) -m repro.experiments bench --figure smoke --jobs $(JOBS) \
+		--cache-dir $(BENCH_CACHE) --output BENCH_smoke.json
+
+smoke:
+	$(PYTHON) -m repro.experiments 4 --jobs $(JOBS) --cache-dir $(CACHE_DIR)
+
+reproduce:
+	$(PYTHON) -m repro.experiments all --jobs $(JOBS) --cache-dir $(CACHE_DIR)
+
+clean:
+	rm -rf $(CACHE_DIR) $(BENCH_CACHE) BENCH_*.json src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -5,8 +5,6 @@ in < 10 iterations on all setups.  The ablation quantifies how much the
 model jump-start buys over a naive start.
 """
 
-import dataclasses
-
 from repro.core.controller import Baseline, MplController, Thresholds
 from repro.core.system import SimulatedSystem
 from repro.experiments.figures import controller_convergence

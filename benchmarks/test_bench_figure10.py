@@ -5,8 +5,6 @@ C^2 = 15 needs MPL ~10; at load 0.9 C^2 = 15 needs MPL ~30; all curves
 approach the C^2-insensitive PS line from above.
 """
 
-import pytest
-
 from repro.experiments.figures import figure10
 
 

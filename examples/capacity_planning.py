@@ -11,7 +11,7 @@ a DBA faces when sizing an external scheduler:
 Run with:  python examples/capacity_planning.py
 """
 
-from repro import MplPsQueue, ThroughputModel
+from repro import MplPsQueue
 from repro.queueing.mg1 import mg1_ps_response_time
 from repro.queueing.throughput_model import balanced_min_mpl
 

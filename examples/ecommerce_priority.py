@@ -8,9 +8,7 @@ highest-priority-first, and compare against the untouched system.
 Run with:  python examples/ecommerce_priority.py
 """
 
-import dataclasses
-
-from repro import SimulatedSystem, SystemConfig, Thresholds, get_setup
+from repro import SystemConfig, Thresholds, get_setup
 from repro.core.tuner import MplTuner
 from repro.priority.evaluation import evaluate_external_prioritization
 

@@ -1,0 +1,11 @@
+"""Shim for environments whose pip/setuptools lack PEP 660 support.
+
+All real metadata lives in pyproject.toml.  This file only enables
+``pip install -e . --no-use-pep517`` (and ``python setup.py develop``)
+on machines without the ``wheel`` package; normal installs should just
+run ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

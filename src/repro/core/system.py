@@ -10,7 +10,10 @@ response times / utilizations as a :class:`RunResult`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+import enum
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
 
 from repro.core.clients import ClosedPopulation, OpenSource, fraction_high_assigner
 from repro.core.frontend import ExternalScheduler
@@ -24,6 +27,46 @@ from repro.sim.distributions import Exponential
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.random import RandomStreams
 from repro.workloads.spec import WorkloadSpec
+
+
+def canonical_jsonable(value: Any) -> Any:
+    """A deterministic, JSON-encodable view of a config object graph.
+
+    Dataclasses and plain objects become ``{"__class__": name, ...}``
+    maps, enums their values, dicts get string keys (sorted by
+    :func:`json.dumps` at hash time).  The encoding is *canonical* —
+    two structurally equal configs encode identically regardless of
+    construction order — which is what makes content-addressed result
+    caching sound.  It is not meant to round-trip back into objects.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonical_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__class__": type(value).__name__, **fields}
+    if isinstance(value, dict):
+        # enum keys encode by value so the encoding is stable across
+        # Python versions (IntEnum.__str__ changed in 3.11)
+        return {
+            str(k.value if isinstance(k, enum.Enum) else k): canonical_jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonical_jsonable(v) for v in value]
+    # Distributions and other plain parameter objects: class name plus
+    # their instance attributes (floats/ints/lists, possibly nested).
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        return {
+            "__class__": type(value).__name__,
+            **{k: canonical_jsonable(v) for k, v in sorted(state.items())},
+        }
+    raise TypeError(f"cannot canonically encode {type(value).__name__}: {value!r}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,6 +89,20 @@ class SystemConfig:
     arrival_rate: Optional[float] = None
     high_priority_fraction: float = 0.0
     seed: int = 1
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Canonical JSON-encodable view (see :func:`canonical_jsonable`)."""
+        return canonical_jsonable(self)
+
+    def fingerprint(self, **extra: Any) -> str:
+        """Content hash of this config (plus run parameters in ``extra``).
+
+        Two configs share a fingerprint iff they describe the same
+        simulation — the cache key of the parallel experiment runner.
+        """
+        payload = {"config": self.to_jsonable(), "extra": canonical_jsonable(extra)}
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,6 +139,32 @@ class RunResult:
         if high <= 0:
             return 0.0
         return self.low_response_time / high
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A JSON-encodable dict that round-trips via :meth:`from_json_dict`."""
+        payload = dataclasses.asdict(self)
+        # str(int(k)), not str(k): keys are Priority IntEnum members and
+        # IntEnum.__str__ is version-dependent (3.10: "Priority.LOW")
+        payload["response_time_by_class"] = {
+            str(int(k)): v for k, v in self.response_time_by_class.items()
+        }
+        payload["count_by_class"] = {
+            str(int(k)): v for k, v in self.count_by_class.items()
+        }
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result previously produced by :meth:`to_json_dict`."""
+        data = dict(payload)
+        data["response_time_by_class"] = {
+            int(k): float(v) for k, v in data.get("response_time_by_class", {}).items()
+        }
+        data["count_by_class"] = {
+            int(k): int(v) for k, v in data.get("count_by_class", {}).items()
+        }
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class SimulatedSystem:

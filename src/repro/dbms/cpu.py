@@ -16,7 +16,7 @@ finishing job.  This is exact, not time-sliced.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.sim.engine import Event, SimulationError, Simulator
 

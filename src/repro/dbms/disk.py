@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import collections
 import random
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Tuple
 
 from repro.sim.distributions import Distribution
 from repro.sim.engine import Event, Simulator

@@ -24,7 +24,7 @@ The lock manager implements:
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.dbms.config import LockSchedulingPolicy
 from repro.dbms.transaction import Priority, Transaction

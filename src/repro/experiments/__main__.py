@@ -4,18 +4,33 @@ Examples::
 
     python -m repro.experiments --list
     python -m repro.experiments --figure 2
-    python -m repro.experiments --figure 10 --table 1
-    python -m repro.experiments --all --fast
+    python -m repro.experiments 2 3 --jobs 8 --cache-dir .repro-cache
+    python -m repro.experiments all --jobs 8
+    python -m repro.experiments bench --jobs 2 --output BENCH_smoke.json
+
+Figures and tables can be named positionally (``all`` expands to
+everything) or through the original ``--figure`` / ``--table`` flags.
+``--jobs N`` fans each figure's run grid out over N worker processes
+and ``--cache-dir`` memoizes completed runs on disk (see
+:mod:`repro.experiments.parallel`).  The ``bench`` subcommand runs one
+figure's grid twice — cold then warm — and writes a ``BENCH_*.json``
+trajectory artifact that CI uploads and diffs.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import platform
+import shutil
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List
 
-from repro.experiments import figures, tables
+from repro.experiments import figures, parallel, tables
+from repro.sim.random import replicate_seeds
 
 _FIGURES: Dict[str, Callable] = {
     "2": figures.figure2,
@@ -41,8 +56,19 @@ _TABLES: Dict[str, Callable[[], str]] = {
 _ANALYTIC = {"7", "10"}
 
 
+def _unknown(kind: str, name: str, known: Dict[str, Callable]) -> int:
+    print(
+        f"error: unknown {kind} {name!r}; available {kind}s: "
+        + ", ".join(sorted(known)),
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _run_figure(key: str, fast: bool) -> None:
     function = _FIGURES[key]
+    runner = parallel.get_runner()
+    before = dataclasses.replace(runner.totals)
     start = time.time()
     if key in _ANALYTIC:
         result = function()
@@ -53,13 +79,150 @@ def _run_figure(key: str, fast: bool) -> None:
     for panel in result:
         print(panel.render())
         print()
-    print(f"[figure {key} regenerated in {time.time() - start:.1f}s]")
+    # totals delta = every grid this figure submitted (a figure may
+    # submit several), and nothing from previous figures
+    stats = runner.totals.since(before)
+    cache_note = (
+        f", {stats.cache_hits} cached / {stats.executed} simulated"
+        if stats.cache_hits
+        else ""
+    )
+    print(f"[figure {key} regenerated in {time.time() - start:.1f}s{cache_note}]")
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulation grids (default 1: in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache; re-runs of unchanged "
+        "figures become near-instant",
+    )
+
+
+def bench_main(argv: List[str]) -> int:
+    """``bench``: run one figure grid cold then warm; emit a JSON artifact."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments bench",
+        description="Benchmark the parallel runner + cache on one figure grid.",
+    )
+    parser.add_argument(
+        "--figure",
+        default="smoke",
+        metavar="ID",
+        help=f"grid to benchmark (one of {sorted(figures.FIGURE_GRIDS)})",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="full-size grid (default: fast)"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="artifact path (default BENCH_<figure>.json)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="K",
+        help="replicate every grid point K times under derived seeds "
+        "(variance estimation)",
+    )
+    _add_runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.repeats < 1:
+        print(f"error: --repeats must be >= 1, got {args.repeats}", file=sys.stderr)
+        return 2
+    key = args.figure.lower()
+    grid_builder = figures.FIGURE_GRIDS.get(key)
+    if grid_builder is None:
+        return _unknown("figure grid", args.figure, figures.FIGURE_GRIDS)
+    grid = grid_builder(fast=not args.full)
+    if args.repeats > 1:
+        grid = [
+            dataclasses.replace(spec, seed=seed, tag=f"replicate-{index}")
+            for spec in grid
+            for index, seed in enumerate(replicate_seeds(spec.seed, args.repeats))
+        ]
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-bench-cache-")
+
+    passes = []
+    results = []
+    try:
+        for label in ("cold", "warm"):
+            runner = parallel.ParallelRunner(jobs=args.jobs, cache_dir=cache_dir)
+            results = runner.run(grid)
+            passes.append({"pass": label, **runner.stats.as_dict()})
+            print(
+                f"[bench {key}] {label}: {runner.stats.elapsed_s:.2f}s "
+                f"({runner.stats.executed} simulated, "
+                f"{runner.stats.cache_hits} cache hits)"
+            )
+    finally:
+        if args.cache_dir is None:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    cold_s, warm_s = passes[0]["elapsed_s"], passes[1]["elapsed_s"]
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    artifact = {
+        "benchmark": "parallel-runner",
+        "figure": key,
+        "grid_size": len(grid),
+        "jobs": args.jobs,
+        "repeats": args.repeats,
+        "cache_dir": args.cache_dir,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "passes": passes,
+        "warm_speedup": speedup,
+        "runs": [
+            {
+                "fingerprint": spec.fingerprint(),
+                "setup_id": spec.setup_id,
+                "mpl": spec.mpl,
+                "seed": spec.seed,
+                "transactions": spec.transactions,
+                "throughput": result.throughput,
+                "mean_response_time": result.mean_response_time,
+                "completed": result.completed,
+            }
+            for spec, result in zip(grid, results)
+        ],
+    }
+    output = args.output or f"BENCH_{key}.json"
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+    print(f"[bench {key}] warm speedup {speedup:.1f}x; artifact: {output}")
+    return 0
 
 
 def main(argv: List[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="TARGET",
+        help="figure/table ids to regenerate, or 'all' (same as --all); "
+        "'bench' starts the runner benchmark subcommand",
     )
     parser.add_argument(
         "--figure",
@@ -82,34 +245,62 @@ def main(argv: List[str] | None = None) -> int:
         help="full-size runs (default is fast, reduced sample sizes)",
     )
     parser.add_argument("--list", action="store_true", help="list available ids")
+    _add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.list:
         print("figures:", ", ".join(sorted(_FIGURES)))
         print("tables :", ", ".join(sorted(_TABLES)))
+        print("grids  :", ", ".join(sorted(figures.FIGURE_GRIDS)), "(for bench)")
         return 0
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
     figure_ids = list(args.figure)
     table_ids = list(args.table)
-    if args.all:
+    run_all = args.all
+    for target in args.targets:
+        key = target.lower()
+        if key == "all":
+            run_all = True
+        elif key in _FIGURES:
+            figure_ids.append(key)
+        elif key in _TABLES:
+            table_ids.append(key)
+        else:
+            print(
+                f"error: unknown target {target!r}; figures: "
+                + ", ".join(sorted(_FIGURES))
+                + "; tables: "
+                + ", ".join(sorted(_TABLES))
+                + "; or 'all' / 'bench'",
+                file=sys.stderr,
+            )
+            return 2
+    if run_all:
         figure_ids = sorted(_FIGURES)
         table_ids = sorted(_TABLES)
     if not figure_ids and not table_ids:
         parser.print_help()
         return 2
 
-    for table_id in table_ids:
-        if table_id not in _TABLES:
-            print(f"unknown table {table_id!r}", file=sys.stderr)
-            return 2
-        print(_TABLES[table_id]())
-        print()
-    for figure_id in figure_ids:
-        key = figure_id.lower()
-        if key not in _FIGURES:
-            print(f"unknown figure {figure_id!r}", file=sys.stderr)
-            return 2
-        _run_figure(key, fast=not args.full)
+    parallel.configure(jobs=args.jobs, cache_dir=args.cache_dir)
+    try:
+        for table_id in table_ids:
+            key = table_id.lower()
+            if key not in _TABLES:
+                return _unknown("table", table_id, _TABLES)
+            print(_TABLES[key]())
+            print()
+        for figure_id in figure_ids:
+            key = figure_id.lower()
+            if key not in _FIGURES:
+                return _unknown("figure", figure_id, _FIGURES)
+            _run_figure(key, fast=not args.full)
+    finally:
+        parallel.configure(jobs=1, cache_dir=None)
     return 0
 
 

@@ -10,16 +10,16 @@ time; EXPERIMENTS.md records a full-size run.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.controller import Thresholds
 from repro.dbms.config import InternalPolicy
 from repro.experiments import report
-from repro.experiments.runner import run_setup, tune_setup
+from repro.experiments.parallel import DEFAULT_SEED, RunSpec, run_grid
+from repro.experiments.runner import spec_for, tune_setup
 from repro.priority.evaluation import (
+    HIGH_PRIORITY_FRACTION,
     PrioritizationOutcome,
-    evaluate_external_prioritization,
-    evaluate_internal_prioritization,
+    outcome_from_runs,
 )
 from repro.queueing.mpl_ps_queue import MplPsQueue
 from repro.queueing.throughput_model import ThroughputModel, balanced_min_mpl
@@ -69,22 +69,32 @@ class FigureResult:
 _NAN = float("nan")
 
 
-def _throughput_curves(
+def throughput_grid(
     setup_ids: Sequence[int],
     mpls: Sequence[int],
     transactions: int,
+    seed: int = DEFAULT_SEED,
+) -> List[RunSpec]:
+    """The run grid behind one throughput-vs-MPL panel, as data."""
+    return [
+        spec_for(get_setup(setup_id), mpl=mpl, transactions=transactions, seed=seed)
+        for setup_id in setup_ids
+        for mpl in mpls
+    ]
+
+
+def _throughput_series(
+    setup_ids: Sequence[int],
+    mpls: Sequence[int],
+    results: Sequence[object],
     labels: Optional[Dict[int, str]] = None,
-    seed: int = 11,
 ) -> List[Series]:
+    """Regroup a grid's flat results into one Series per setup."""
     series = []
-    for setup_id in setup_ids:
-        setup = get_setup(setup_id)
-        ys = [
-            run_setup(setup, mpl=mpl, transactions=transactions, seed=seed).throughput
-            for mpl in mpls
-        ]
-        label = (labels or {}).get(setup_id) or setup.describe()
-        series.append(Series(label=label, ys=tuple(ys)))
+    for index, setup_id in enumerate(setup_ids):
+        chunk = results[index * len(mpls):(index + 1) * len(mpls)]
+        label = (labels or {}).get(setup_id) or get_setup(setup_id).describe()
+        series.append(Series(label=label, ys=tuple(r.throughput for r in chunk)))
     return series
 
 
@@ -93,27 +103,29 @@ _DEFAULT_MPLS = (1, 2, 3, 5, 7, 10, 15, 20, 30)
 
 def figure2(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS) -> List[FigureResult]:
     """Throughput vs MPL for the CPU-bound workloads (setups 1–4)."""
-    transactions = 700 if fast else 2500
+    results = run_grid(figure2_grid(fast, mpls))
+    split = 2 * len(mpls)
     panel_a = FigureResult(
         figure="2a",
         title="W_CPU-inventory throughput vs MPL (1 vs 2 CPUs)",
         xlabel="MPL",
         xs=tuple(float(m) for m in mpls),
         series=tuple(
-            _throughput_curves(
-                [1, 2], mpls, transactions, labels={1: "One CPU", 2: "Two CPUs"}
+            _throughput_series(
+                [1, 2], mpls, results[:split],
+                labels={1: "One CPU", 2: "Two CPUs"},
             )
         ),
     )
-    browsing_tx = 400 if fast else 1500
     panel_b = FigureResult(
         figure="2b",
         title="W_CPU-browsing throughput vs MPL (1 vs 2 CPUs)",
         xlabel="MPL",
         xs=tuple(float(m) for m in mpls),
         series=tuple(
-            _throughput_curves(
-                [3, 4], mpls, browsing_tx, labels={3: "One CPU", 4: "Two CPUs"}
+            _throughput_series(
+                [3, 4], mpls, results[split:],
+                labels={3: "One CPU", 4: "Two CPUs"},
             )
         ),
     )
@@ -122,17 +134,16 @@ def figure2(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS) -> List[Figu
 
 def figure3(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS) -> List[FigureResult]:
     """Throughput vs MPL for the I/O-bound workloads (setups 5–10)."""
-    transactions = 350 if fast else 1200
+    results = run_grid(figure3_grid(fast, mpls))
+    split = 4 * len(mpls)
     panel_a = FigureResult(
         figure="3a",
         title="W_IO-inventory throughput vs MPL (1-4 disks)",
         xlabel="MPL",
         xs=tuple(float(m) for m in mpls),
         series=tuple(
-            _throughput_curves(
-                [5, 6, 7, 8],
-                mpls,
-                transactions,
+            _throughput_series(
+                [5, 6, 7, 8], mpls, results[:split],
                 labels={5: "1 disk", 6: "2 disks", 7: "3 disks", 8: "4 disks"},
             )
         ),
@@ -143,8 +154,8 @@ def figure3(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS) -> List[Figu
         xlabel="MPL",
         xs=tuple(float(m) for m in mpls),
         series=tuple(
-            _throughput_curves(
-                [9, 10], mpls, max(250, transactions // 2),
+            _throughput_series(
+                [9, 10], mpls, results[split:],
                 labels={9: "1 disk", 10: "4 disks"},
             )
         ),
@@ -154,7 +165,7 @@ def figure3(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS) -> List[Figu
 
 def figure4(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS + (35,)) -> List[FigureResult]:
     """Throughput vs MPL for the balanced CPU+I/O workload (setups 11, 12)."""
-    transactions = 700 if fast else 2500
+    results = run_grid(figure4_grid(fast, mpls))
     return [
         FigureResult(
             figure="4",
@@ -162,10 +173,8 @@ def figure4(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS + (35,)) -> L
             xlabel="MPL",
             xs=tuple(float(m) for m in mpls),
             series=tuple(
-                _throughput_curves(
-                    [11, 12],
-                    mpls,
-                    transactions,
+                _throughput_series(
+                    [11, 12], mpls, results,
                     labels={11: "1 disk, 1 CPU", 12: "4 disks, 2 CPUs"},
                 )
             ),
@@ -175,15 +184,16 @@ def figure4(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS + (35,)) -> L
 
 def figure5(fast: bool = True, mpls: Sequence[int] = (1, 2, 3, 5, 7, 10, 15, 20, 30, 40)) -> List[FigureResult]:
     """Throughput vs MPL under heavy locking: RR vs UR isolation."""
-    transactions = 700 if fast else 2500
+    results = run_grid(figure5_grid(fast, mpls))
+    split = 2 * len(mpls)
     panel_a = FigureResult(
         figure="5a",
         title="W_CPU-inventory: isolation RR vs UR (setups 1, 17)",
         xlabel="MPL",
         xs=tuple(float(m) for m in mpls),
         series=tuple(
-            _throughput_curves(
-                [17, 1], mpls, transactions,
+            _throughput_series(
+                [17, 1], mpls, results[:split],
                 labels={17: "Isolation UR", 1: "Isolation RR"},
             )
         ),
@@ -194,8 +204,8 @@ def figure5(fast: bool = True, mpls: Sequence[int] = (1, 2, 3, 5, 7, 10, 15, 20,
         xlabel="MPL",
         xs=tuple(float(m) for m in mpls),
         series=tuple(
-            _throughput_curves(
-                [16, 15], mpls, transactions,
+            _throughput_series(
+                [16, 15], mpls, results[split:],
                 labels={16: "UR isolation", 15: "RR isolation"},
             )
         ),
@@ -214,24 +224,31 @@ def section32_response_time(
     ≥ 15 at 90%.
     """
     transactions = 600 if fast else 2000
+    loads = (0.7, 0.9)
+    subjects = ((1, "TPC-C (W_CPU-inventory)"), (3, "TPC-W (W_CPU-browsing)"))
+    # phase 1: closed-system capacity probes, one grid
+    capacity_runs = run_grid([
+        spec_for(get_setup(sid), mpl=None, transactions=max(400, transactions // 2))
+        for sid, _name in subjects
+    ])
+    capacities = {sid: run.throughput
+                  for (sid, _name), run in zip(subjects, capacity_runs)}
+    # phase 2: the full (setup, load, mpl) open-system grid
+    grid = [
+        spec_for(
+            get_setup(sid), mpl=mpl, transactions=transactions,
+            arrival_rate=load * capacities[sid],
+        )
+        for sid, _name in subjects
+        for load in loads
+        for mpl in mpls
+    ]
+    runs = iter(run_grid(grid))
     results: List[FigureResult] = []
-    for setup_id, name in ((1, "TPC-C (W_CPU-inventory)"), (3, "TPC-W (W_CPU-browsing)")):
-        setup = get_setup(setup_id)
-        capacity = run_setup(
-            setup, mpl=None, transactions=max(400, transactions // 2)
-        ).throughput
+    for setup_id, name in subjects:
         series = []
-        for load in (0.7, 0.9):
-            rate = load * capacity
-            ys = []
-            for mpl in mpls:
-                result = run_setup(
-                    setup,
-                    mpl=mpl,
-                    transactions=transactions,
-                    arrival_rate=rate,
-                )
-                ys.append(result.mean_response_time)
+        for load in loads:
+            ys = [next(runs).mean_response_time for _ in mpls]
             series.append(Series(label=f"load {load:.0%}", ys=tuple(ys)))
         results.append(
             FigureResult(
@@ -382,32 +399,41 @@ def _figure11_threshold(
 ) -> Tuple[FigureResult, List[PrioritizationOutcome]]:
     transactions = 700 if fast else 2000
     setup_ids = tuple(s.setup_id for s in SETUPS)
-    highs: List[float] = []
-    lows: List[float] = []
-    noprios: List[float] = []
-    outcomes: List[PrioritizationOutcome] = []
-    for setup_id in setup_ids:
-        setup = get_setup(setup_id)
-        # the paper's budgets are symmetric: "sacrifice a maximum of
-        # 5% (20%) throughput" and the same bound on mean RT
-        tuning = tune_setup(
-            setup,
+    # phase 1: the "No Prio" references for all 17 setups, one grid
+    references = run_grid([
+        spec_for(get_setup(sid), mpl=None, transactions=transactions, seed=seed)
+        for sid in setup_ids
+    ])
+    # phase 2: tune each setup's MPL (inherently sequential feedback loops)
+    # — the paper's budgets are symmetric: "sacrifice a maximum of
+    # 5% (20%) throughput" and the same bound on mean RT
+    tuned_mpls = [
+        tune_setup(
+            get_setup(sid),
             max_throughput_loss=max_throughput_loss,
             max_response_time_increase=max_throughput_loss,
             transactions=max(400, transactions // 2),
             window=100,
+        ).final_mpl
+        for sid in setup_ids
+    ]
+    # phase 3: the prioritized runs at the tuned MPLs, one grid
+    prio_runs = run_grid([
+        spec_for(
+            get_setup(sid), mpl=mpl, transactions=transactions, seed=seed,
+            policy="priority", high_priority_fraction=HIGH_PRIORITY_FRACTION,
         )
-        outcome = evaluate_external_prioritization(
-            setup,
-            mpl=tuning.final_mpl,
-            transactions=transactions,
-            seed=seed,
-            label=f"setup {setup_id} mpl={tuning.final_mpl}",
+        for sid, mpl in zip(setup_ids, tuned_mpls)
+    ])
+    outcomes: List[PrioritizationOutcome] = [
+        outcome_from_runs(f"setup {sid} mpl={mpl}", mpl, run, reference)
+        for sid, mpl, run, reference in zip(
+            setup_ids, tuned_mpls, prio_runs, references
         )
-        outcomes.append(outcome)
-        highs.append(outcome.high)
-        lows.append(outcome.low)
-        noprios.append(outcome.no_prio)
+    ]
+    highs = [o.high for o in outcomes]
+    lows = [o.low for o in outcomes]
+    noprios = [o.no_prio for o in outcomes]
     diffs = [o.differentiation for o in outcomes if o.differentiation > 0]
     pens = [o.low_penalty for o in outcomes if o.low_penalty > 0]
     overall = [o.overall_penalty for o in outcomes if o.overall_penalty > 0]
@@ -450,34 +476,40 @@ def _internal_vs_external(
 ) -> FigureResult:
     transactions = 800 if fast else 2000
     setup = get_setup(setup_id)
-    columns: List[Tuple[str, PrioritizationOutcome]] = []
-    columns.append(
-        (
-            "internal",
-            evaluate_internal_prioritization(
-                setup, internal, transactions=transactions, seed=seed
-            ),
-        )
-    )
-    for label, loss in (("ext95", 0.05), ("ext80", 0.20), ("ext100", 0.005)):
-        tuning = tune_setup(
+    budgets = (("ext95", 0.05), ("ext80", 0.20), ("ext100", 0.005))
+    # phase 1: the shared reference + the internal-prioritization run
+    no_prio, internal_run = run_grid([
+        spec_for(setup, mpl=None, transactions=transactions, seed=seed),
+        spec_for(
+            setup, mpl=None, transactions=transactions, seed=seed,
+            internal=internal, high_priority_fraction=HIGH_PRIORITY_FRACTION,
+        ),
+    ])
+    # phase 2: tune one MPL per throughput-loss budget (sequential)
+    tuned_mpls = [
+        tune_setup(
             setup,
             max_throughput_loss=loss,
             max_response_time_increase=max(loss, 0.02),
             transactions=max(400, transactions // 2),
+        ).final_mpl
+        for _label, loss in budgets
+    ]
+    # phase 3: the external-prioritization runs, one grid
+    ext_runs = run_grid([
+        spec_for(
+            setup, mpl=mpl, transactions=transactions, seed=seed,
+            policy="priority", high_priority_fraction=HIGH_PRIORITY_FRACTION,
         )
-        columns.append(
-            (
-                label,
-                evaluate_external_prioritization(
-                    setup,
-                    mpl=tuning.final_mpl,
-                    transactions=transactions,
-                    seed=seed,
-                    label=label,
-                ),
-            )
-        )
+        for mpl in tuned_mpls
+    ])
+    columns: List[Tuple[str, PrioritizationOutcome]] = [
+        ("internal", outcome_from_runs("internal", None, internal_run, no_prio))
+    ]
+    columns.extend(
+        (label, outcome_from_runs(label, mpl, run, no_prio))
+        for (label, _loss), mpl, run in zip(budgets, tuned_mpls, ext_runs)
+    )
     xs = tuple(float(i) for i in range(len(columns)))
     notes = tuple(
         f"{label}: high={o.high:.2f}s low={o.low:.2f}s mean={o.overall:.2f}s "
@@ -509,3 +541,57 @@ def figure12(fast: bool = True, seed: int = 11) -> List[FigureResult]:
 def figure13(fast: bool = True, seed: int = 11) -> List[FigureResult]:
     """Internal (CPU priorities/renice) vs external prioritization, setup 3."""
     return [_internal_vs_external(3, InternalPolicy.cpu_priorities(), fast, seed)]
+
+
+# -- declarative grids (for `repro.experiments bench` and CI) ----------------
+
+
+def figure2_grid(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS) -> List[RunSpec]:
+    """The simulation grid behind Figure 2 (both panels)."""
+    return throughput_grid([1, 2], mpls, 700 if fast else 2500) + throughput_grid(
+        [3, 4], mpls, 400 if fast else 1500
+    )
+
+
+def figure3_grid(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS) -> List[RunSpec]:
+    """The simulation grid behind Figure 3 (both panels)."""
+    transactions = 350 if fast else 1200
+    return throughput_grid([5, 6, 7, 8], mpls, transactions) + throughput_grid(
+        [9, 10], mpls, max(250, transactions // 2)
+    )
+
+
+def figure4_grid(
+    fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS + (35,)
+) -> List[RunSpec]:
+    """The simulation grid behind Figure 4."""
+    return throughput_grid([11, 12], mpls, 700 if fast else 2500)
+
+
+def figure5_grid(
+    fast: bool = True,
+    mpls: Sequence[int] = (1, 2, 3, 5, 7, 10, 15, 20, 30, 40),
+) -> List[RunSpec]:
+    """The simulation grid behind Figure 5 (both panels)."""
+    transactions = 700 if fast else 2500
+    return throughput_grid([17, 1], mpls, transactions) + throughput_grid(
+        [16, 15], mpls, transactions
+    )
+
+
+def smoke_grid(fast: bool = True) -> List[RunSpec]:
+    """A deliberately cheap grid for CI smoke runs and cache benchmarks."""
+    mpls = (1, 2, 4, 8) if fast else (1, 2, 4, 8, 16, 30)
+    transactions = 150 if fast else 600
+    return throughput_grid([1], mpls, transactions)
+
+
+#: Figure key → grid builder, the machine-readable face of the figures
+#: above.  ``bench`` runs any of these through the parallel runner.
+FIGURE_GRIDS: Dict[str, Callable[[bool], List[RunSpec]]] = {
+    "2": figure2_grid,
+    "3": figure3_grid,
+    "4": figure4_grid,
+    "5": figure5_grid,
+    "smoke": smoke_grid,
+}

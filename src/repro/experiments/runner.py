@@ -11,13 +11,14 @@ paper says "the MPL is adjusted using the methods from Section 4".
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.controller import Thresholds
 from repro.core.system import RunResult, SimulatedSystem, SystemConfig
 from repro.core.tuner import MplTuner, TuningResult
 from repro.dbms.config import InternalPolicy
-from repro.workloads.setups import Setup
+from repro.experiments.parallel import RunSpec, run_grid
+from repro.workloads.setups import Setup, get_setup
 
 
 def setup_config(
@@ -43,6 +44,31 @@ def setup_config(
     )
 
 
+def spec_for(
+    setup: Setup,
+    mpl: Optional[int] = None,
+    transactions: int = 1500,
+    seed: int = 11,
+    policy: str = "fifo",
+    internal: Optional[InternalPolicy] = None,
+    high_priority_fraction: float = 0.0,
+    arrival_rate: Optional[float] = None,
+    tag: str = "",
+) -> RunSpec:
+    """The :class:`RunSpec` equivalent of a :func:`run_setup` call."""
+    return RunSpec(
+        setup_id=setup.setup_id,
+        mpl=mpl,
+        transactions=transactions,
+        seed=seed,
+        policy=policy,
+        internal=internal,
+        high_priority_fraction=high_priority_fraction,
+        arrival_rate=arrival_rate,
+        tag=tag,
+    )
+
+
 def run_setup(
     setup: Setup,
     mpl: Optional[int] = None,
@@ -53,17 +79,40 @@ def run_setup(
     high_priority_fraction: float = 0.0,
     arrival_rate: Optional[float] = None,
 ) -> RunResult:
-    """Run one setup at one MPL and return its measurements."""
-    config = setup_config(
+    """Run one setup at one MPL and return its measurements.
+
+    Canonical Table 2 setups go through the active
+    :class:`~repro.experiments.parallel.ParallelRunner` (and hence its
+    result cache); ad-hoc :class:`Setup` objects that don't match their
+    setup id run directly, since a :class:`RunSpec` only names a
+    canonical setup.
+    """
+    spec = spec_for(
         setup,
         mpl=mpl,
+        transactions=transactions,
+        seed=seed,
         policy=policy,
         internal=internal,
         high_priority_fraction=high_priority_fraction,
         arrival_rate=arrival_rate,
-        seed=seed,
     )
-    return SimulatedSystem(config).run(transactions=transactions)
+    try:
+        canonical = get_setup(setup.setup_id) == setup
+    except KeyError:
+        canonical = False
+    if not canonical:
+        config = setup_config(
+            setup,
+            mpl=mpl,
+            policy=policy,
+            internal=internal,
+            high_priority_fraction=high_priority_fraction,
+            arrival_rate=arrival_rate,
+            seed=seed,
+        )
+        return SimulatedSystem(config).run(transactions=transactions)
+    return run_grid([spec])[0]
 
 
 def mpl_sweep(
@@ -74,11 +123,12 @@ def mpl_sweep(
     arrival_rate: Optional[float] = None,
 ) -> List[Tuple[Optional[int], RunResult]]:
     """Run a setup across MPL values (common seed = paired comparison)."""
-    return [
-        (mpl, run_setup(setup, mpl=mpl, transactions=transactions, seed=seed,
-                        arrival_rate=arrival_rate))
+    grid = [
+        spec_for(setup, mpl=mpl, transactions=transactions, seed=seed,
+                 arrival_rate=arrival_rate)
         for mpl in mpls
     ]
+    return list(zip(mpls, run_grid(grid)))
 
 
 def tune_setup(
@@ -128,12 +178,16 @@ def find_min_mpl_experimental(
     """
     if not 0.0 < fraction <= 1.0:
         raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
-    baseline = run_setup(setup, mpl=None, transactions=transactions, seed=seed)
+    ordered = sorted(candidate_mpls)
+    grid = [spec_for(setup, mpl=None, transactions=transactions, seed=seed)] + [
+        spec_for(setup, mpl=mpl, transactions=transactions, seed=seed)
+        for mpl in ordered
+    ]
+    baseline, *candidates = run_grid(grid)
     sweep: List[Tuple[int, float]] = []
     chosen: Optional[int] = None
     achieved = 0.0
-    for mpl in sorted(candidate_mpls):
-        result = run_setup(setup, mpl=mpl, transactions=transactions, seed=seed)
+    for mpl, result in zip(ordered, candidates):
         sweep.append((mpl, result.throughput))
         if chosen is None and result.throughput >= fraction * baseline.throughput:
             chosen = mpl

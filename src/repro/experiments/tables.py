@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.dbms.bufferpool import AnalyticBufferPool
 from repro.experiments.report import ascii_table

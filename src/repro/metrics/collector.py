@@ -11,7 +11,7 @@ measurement intervals.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.dbms.transaction import Transaction
 from repro.metrics import stats

@@ -70,6 +70,29 @@ class PrioritizationOutcome:
         return max(0.0, 1.0 - self.throughput / self.no_prio_throughput)
 
 
+def outcome_from_runs(
+    label: str,
+    mpl: Optional[int],
+    result: RunResult,
+    no_prio: RunResult,
+) -> PrioritizationOutcome:
+    """Assemble an outcome from a prioritized run and its reference.
+
+    Figure reproductions that execute both runs through the parallel
+    grid use this to build the outcome without re-running anything.
+    """
+    return PrioritizationOutcome(
+        label=label,
+        mpl=mpl,
+        high=result.high_response_time,
+        low=result.low_response_time,
+        overall=result.mean_response_time,
+        no_prio=no_prio.mean_response_time,
+        throughput=result.throughput,
+        no_prio_throughput=no_prio.throughput,
+    )
+
+
 def _base_config(setup: Setup, seed: int) -> SystemConfig:
     return SystemConfig(
         workload=setup.workload,
@@ -105,16 +128,7 @@ def evaluate_external_prioritization(
         high_priority_fraction=HIGH_PRIORITY_FRACTION,
     )
     result = SimulatedSystem(config).run(transactions=transactions)
-    return PrioritizationOutcome(
-        label=label or f"ext mpl={mpl}",
-        mpl=mpl,
-        high=result.high_response_time,
-        low=result.low_response_time,
-        overall=result.mean_response_time,
-        no_prio=no_prio.mean_response_time,
-        throughput=result.throughput,
-        no_prio_throughput=no_prio.throughput,
-    )
+    return outcome_from_runs(label or f"ext mpl={mpl}", mpl, result, no_prio)
 
 
 def evaluate_internal_prioritization(
@@ -136,13 +150,4 @@ def evaluate_internal_prioritization(
         high_priority_fraction=HIGH_PRIORITY_FRACTION,
     )
     result = SimulatedSystem(config).run(transactions=transactions)
-    return PrioritizationOutcome(
-        label=label,
-        mpl=None,
-        high=result.high_response_time,
-        low=result.low_response_time,
-        overall=result.mean_response_time,
-        no_prio=no_prio.mean_response_time,
-        throughput=result.throughput,
-        no_prio_throughput=no_prio.throughput,
-    )
+    return outcome_from_runs(label, None, result, no_prio)

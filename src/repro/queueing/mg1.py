@@ -6,7 +6,6 @@ MPL → ∞ must match PS) and by the tuner's open-system reasoning.
 
 from __future__ import annotations
 
-import math
 
 
 def _check_load(load: float) -> None:

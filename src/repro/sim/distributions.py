@@ -18,7 +18,7 @@ from __future__ import annotations
 import bisect
 import math
 import random as _random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 
 class Distribution:

@@ -5,6 +5,7 @@ independence — they are plain scripts, so we simply run them and check
 for a zero exit and the expected headline output.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -12,14 +13,22 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def _run(name, timeout=420):
+    # child processes don't inherit pytest's in-process pythonpath
+    # setting, so forward src explicitly for bare-checkout runs
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.system import SimulatedSystem, SystemConfig
-from repro.dbms.config import HardwareConfig, InternalPolicy, IsolationLevel
+from repro.dbms.config import HardwareConfig, InternalPolicy
 from repro.experiments.runner import run_setup
 from repro.queueing.mpl_ps_queue import MplPsQueue
 from repro.workloads.setups import get_setup

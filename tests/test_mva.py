@@ -3,7 +3,6 @@
 import pytest
 
 from repro.queueing.mva import (
-    MvaResult,
     Station,
     balanced_throughput_fraction,
     mva,

@@ -1,0 +1,272 @@
+"""Tests for the parallel experiment runner, result cache, and bench CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.system import RunResult, canonical_jsonable
+from repro.experiments import figures
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.parallel import (
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+    get_runner,
+    run_grid,
+    using_runner,
+)
+from repro.experiments.runner import run_setup
+from repro.sim.random import derive_seed, replicate_seeds
+from repro.workloads.setups import get_setup
+
+
+def _grid(transactions=120, seed=7):
+    return [
+        RunSpec(setup_id=1, mpl=mpl, transactions=transactions, seed=seed)
+        for mpl in (1, 3, 5, 8)
+    ]
+
+
+class TestDeterminism:
+    def test_parallel_bit_identical_to_sequential(self):
+        """--jobs N must reproduce --jobs 1 exactly, for any N."""
+        specs = _grid()
+        sequential = ParallelRunner(jobs=1).run(specs)
+        parallel = ParallelRunner(jobs=4).run(specs)
+        assert [r.to_json_dict() for r in sequential] == [
+            r.to_json_dict() for r in parallel
+        ]
+
+    def test_matches_direct_simulation(self):
+        spec = RunSpec(setup_id=1, mpl=5, transactions=150, seed=3)
+        direct = run_setup(get_setup(1), mpl=5, transactions=150, seed=3)
+        pooled = ParallelRunner(jobs=2).run([spec, spec])
+        assert pooled[0].to_json_dict() == direct.to_json_dict()
+
+    def test_duplicate_specs_execute_once(self):
+        spec = RunSpec(setup_id=1, mpl=2, transactions=100, seed=5)
+        runner = ParallelRunner(jobs=1)
+        first, second = runner.run([spec, spec])
+        assert runner.stats.executed == 1
+        assert runner.stats.deduplicated == 1
+        assert first.to_json_dict() == second.to_json_dict()
+
+
+class TestResultCache:
+    def test_warm_cache_short_circuits(self, tmp_path):
+        specs = _grid()
+        cold = ParallelRunner(jobs=1, cache_dir=str(tmp_path))
+        cold_results = cold.run(specs)
+        assert cold.stats.executed == len(specs)
+        warm = ParallelRunner(jobs=1, cache_dir=str(tmp_path))
+        warm_results = warm.run(specs)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == len(specs)
+        assert warm.stats.elapsed_s < cold.stats.elapsed_s
+        assert [r.to_json_dict() for r in warm_results] == [
+            r.to_json_dict() for r in cold_results
+        ]
+
+    def test_different_config_misses(self, tmp_path):
+        runner = ParallelRunner(jobs=1, cache_dir=str(tmp_path))
+        runner.run([RunSpec(setup_id=1, mpl=2, transactions=100, seed=5)])
+        runner.run([RunSpec(setup_id=1, mpl=2, transactions=100, seed=6)])
+        assert runner.stats.cache_hits == 0
+        assert runner.stats.executed == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spec = RunSpec(setup_id=1, mpl=2, transactions=100, seed=5)
+        cache = ResultCache(str(tmp_path))
+        key = spec.fingerprint()
+        path = os.path.join(str(tmp_path), key[:2], f"{key}.json")
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert cache.load(key) is None
+        runner = ParallelRunner(jobs=1, cache_dir=str(tmp_path))
+        runner.run([spec])
+        assert runner.stats.executed == 1
+        assert cache.load(key) is not None
+
+
+class TestFingerprints:
+    def test_stable_and_distinct(self):
+        a = RunSpec(setup_id=1, mpl=5, transactions=300, seed=11)
+        assert a.fingerprint() == RunSpec(
+            setup_id=1, mpl=5, transactions=300, seed=11
+        ).fingerprint()
+        assert a.fingerprint() != RunSpec(
+            setup_id=1, mpl=6, transactions=300, seed=11
+        ).fingerprint()
+        assert a.fingerprint() != RunSpec(
+            setup_id=2, mpl=5, transactions=300, seed=11
+        ).fingerprint()
+
+    def test_tag_not_hashed(self):
+        base = RunSpec(setup_id=1, mpl=5, transactions=300, tag="")
+        tagged = RunSpec(setup_id=1, mpl=5, transactions=300, tag="panel-a")
+        assert base.fingerprint() == tagged.fingerprint()
+
+    def test_canonical_jsonable_roundtrips_to_json(self):
+        spec = RunSpec(setup_id=1, mpl=5, transactions=300)
+        blob = json.dumps(canonical_jsonable(spec.config()), sort_keys=True)
+        assert "W_CPU-inventory" in blob
+
+
+class TestRunResultSerialization:
+    def test_round_trip(self):
+        result = run_setup(get_setup(1), mpl=4, transactions=150, seed=2)
+        rebuilt = RunResult.from_json_dict(
+            json.loads(json.dumps(result.to_json_dict()))
+        )
+        assert rebuilt == result
+        assert rebuilt.response_time_by_class == result.response_time_by_class
+
+    def test_class_keys_serialize_numerically(self):
+        """Priority IntEnum keys must encode as digits on every Python.
+
+        ``str(IntEnum)`` is version-dependent ('Priority.LOW' on 3.10);
+        a non-numeric key would make ``from_json_dict`` raise and turn
+        every cache lookup into a silent miss.
+        """
+        result = run_setup(
+            get_setup(1), mpl=4, transactions=150, seed=2,
+            policy="priority", high_priority_fraction=0.2,
+        )
+        payload = result.to_json_dict()
+        assert payload["response_time_by_class"]
+        for field in ("response_time_by_class", "count_by_class"):
+            assert all(key.isdigit() for key in payload[field])
+
+
+class TestActiveRunner:
+    def test_run_grid_uses_active_runner(self, tmp_path):
+        runner = ParallelRunner(jobs=1, cache_dir=str(tmp_path))
+        with using_runner(runner):
+            assert get_runner() is runner
+            run_grid(_grid(transactions=80))
+        assert get_runner() is not runner
+        assert runner.stats.executed == 4
+
+    def test_figures_hit_cache_through_run_setup(self, tmp_path):
+        runner = ParallelRunner(jobs=1, cache_dir=str(tmp_path))
+        with using_runner(runner):
+            run_setup(get_setup(1), mpl=3, transactions=90, seed=4)
+            assert runner.stats.executed == 1
+            run_setup(get_setup(1), mpl=3, transactions=90, seed=4)
+            assert runner.stats.cache_hits == 1
+            assert runner.stats.executed == 0
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0)
+
+    def test_totals_accumulate_across_calls(self, tmp_path):
+        runner = ParallelRunner(jobs=1, cache_dir=str(tmp_path))
+        runner.run(_grid(transactions=80))
+        runner.run(_grid(transactions=80))
+        assert runner.stats.cache_hits == 4
+        assert runner.totals.executed == 4
+        assert runner.totals.cache_hits == 4
+        assert runner.totals.submitted == 8
+        delta = runner.totals.since(runner.stats)
+        assert delta.executed == 4 and delta.cache_hits == 0
+
+
+class TestSeedDerivation:
+    def test_derive_seed_stable(self):
+        assert derive_seed(11, "replicate", 0) == derive_seed(11, "replicate", 0)
+        assert derive_seed(11, "replicate", 0) != derive_seed(11, "replicate", 1)
+        assert derive_seed(11, "a") != derive_seed(12, "a")
+
+    def test_replicate_seeds(self):
+        seeds = replicate_seeds(11, 5)
+        assert len(seeds) == len(set(seeds)) == 5
+        assert seeds == replicate_seeds(11, 5)
+        with pytest.raises(ValueError):
+            replicate_seeds(11, -1)
+
+
+class TestCli:
+    def test_positional_targets(self, capsys):
+        assert cli_main(["7"]) == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_unknown_positional_target_errors(self, capsys):
+        assert cli_main(["nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown target" in err and "s4.3" in err
+
+    def test_unknown_figure_flag_lists_choices(self, capsys):
+        assert cli_main(["--figure", "99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown figure" in err and "available" in err
+
+    def test_jobs_validation(self, capsys):
+        assert cli_main(["--figure", "7", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_figure_with_cache_dir(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert cli_main(["--figure", "7", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+
+    def test_bench_emits_artifact(self, tmp_path, capsys):
+        output = str(tmp_path / "BENCH_smoke.json")
+        cache = str(tmp_path / "cache")
+        assert cli_main(
+            ["bench", "--jobs", "2", "--cache-dir", cache, "--output", output]
+        ) == 0
+        assert "warm speedup" in capsys.readouterr().out
+        with open(output, encoding="utf-8") as handle:
+            artifact = json.load(handle)
+        assert artifact["figure"] == "smoke"
+        assert artifact["grid_size"] == len(artifact["runs"])
+        assert [p["pass"] for p in artifact["passes"]] == ["cold", "warm"]
+        assert artifact["passes"][1]["cache_hits"] == artifact["grid_size"]
+        assert artifact["passes"][1]["executed"] == 0
+        for run in artifact["runs"]:
+            assert run["throughput"] > 0
+
+    def test_bench_unknown_grid(self, capsys):
+        assert cli_main(["bench", "--figure", "zzz"]) == 2
+        assert "unknown figure grid" in capsys.readouterr().err
+
+    def test_bench_jobs_and_repeats_validation(self, capsys):
+        assert cli_main(["bench", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert cli_main(["bench", "--repeats", "0"]) == 2
+        assert "--repeats" in capsys.readouterr().err
+
+    def test_bench_repeats_derive_distinct_seeds(self, tmp_path, capsys):
+        output = str(tmp_path / "bench.json")
+        assert cli_main(
+            ["bench", "--repeats", "2", "--cache-dir", str(tmp_path / "c"),
+             "--output", output]
+        ) == 0
+        capsys.readouterr()
+        with open(output, encoding="utf-8") as handle:
+            artifact = json.load(handle)
+        assert artifact["repeats"] == 2
+        assert artifact["grid_size"] == 2 * len(figures.smoke_grid())
+        # replicates get distinct derived seeds, but within a replicate
+        # every grid point shares one seed (common random numbers)
+        seeds = {run["seed"] for run in artifact["runs"]}
+        assert len(seeds) == 2
+        fingerprints = {run["fingerprint"] for run in artifact["runs"]}
+        assert len(fingerprints) == artifact["grid_size"]
+
+
+class TestFigureGrids:
+    def test_grids_are_data(self):
+        for key, builder in figures.FIGURE_GRIDS.items():
+            grid = builder(fast=True)
+            assert grid, key
+            assert all(isinstance(spec, RunSpec) for spec in grid)
+
+    def test_figure2_consumes_its_grid(self):
+        mpls = (1, 5)
+        grid = figures.figure2_grid(fast=True, mpls=mpls)
+        assert len(grid) == 4 * len(mpls)
+        assert {spec.setup_id for spec in grid} == {1, 2, 3, 4}

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.controller import Thresholds
 from repro.dbms.config import InternalPolicy, IsolationLevel
 from repro.experiments.runner import (
     find_min_mpl_experimental,

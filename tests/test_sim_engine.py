@@ -5,7 +5,6 @@ import pytest
 from repro.sim.engine import (
     AllOf,
     AnyOf,
-    Event,
     Interrupt,
     SimulationError,
     Simulator,

@@ -1,7 +1,5 @@
 """Tests for the assembled simulated system."""
 
-import dataclasses
-
 import pytest
 
 from repro.core.system import RunResult, SimulatedSystem, SystemConfig, run_system

@@ -1,6 +1,5 @@
 """Tests for the model-jump-started MPL tuner."""
 
-import pytest
 
 from repro.core.controller import Thresholds
 from repro.core.system import SystemConfig
