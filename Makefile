@@ -15,7 +15,7 @@ CACHE_DIR   ?= .repro-cache
 BENCH_CACHE ?= .repro-bench-cache
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench reproduce smoke clean
+.PHONY: test lint bench kernel-bench reproduce smoke clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,14 @@ bench:
 	$(PYTHON) -m repro.experiments bench --figure smoke --jobs $(JOBS) \
 		--cache-dir $(BENCH_CACHE) --output BENCH_smoke.json
 
+# Serial figure-2 cold pass against the checked-in BENCH_seed.json;
+# fails when the simulation kernel regresses >2x (what CI runs).
+kernel-bench:
+	rm -rf .kernel-bench-cache
+	$(PYTHON) -m repro.experiments bench --figure 2 --jobs 1 \
+		--cache-dir .kernel-bench-cache --output BENCH_figure2.json \
+		--baseline BENCH_seed.json --max-regression 2
+
 smoke:
 	$(PYTHON) -m repro.experiments 4 --jobs $(JOBS) --cache-dir $(CACHE_DIR)
 
@@ -40,5 +48,6 @@ reproduce:
 	$(PYTHON) -m repro.experiments all --jobs $(JOBS) --cache-dir $(CACHE_DIR)
 
 clean:
-	rm -rf $(CACHE_DIR) $(BENCH_CACHE) BENCH_*.json src/*.egg-info
+	rm -rf $(CACHE_DIR) $(BENCH_CACHE) .kernel-bench-cache src/*.egg-info
+	rm -f BENCH_smoke.json BENCH_figure2.json   # BENCH_seed.json is checked in
 	find . -name __pycache__ -type d -exec rm -rf {} +

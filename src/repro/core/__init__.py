@@ -3,15 +3,29 @@
 * :mod:`repro.core.frontend` — the MPL-limited dispatcher of Figure 1.
 * :mod:`repro.core.policies` — external-queue orderings (FIFO,
   priority, SJF).
-* :mod:`repro.core.clients` — closed client populations and open
-  Poisson sources.
+* :mod:`repro.core.arrivals` — pluggable arrival layer: closed client
+  populations, open Poisson sources, partly-open sessions, and
+  time-varying (modulated) rates.
 * :mod:`repro.core.system` — wiring + run harness.
 * :mod:`repro.core.controller` — the feedback controller of §4.3.
 * :mod:`repro.core.tuner` — queueing-model jump-start + controller
   ("the tool" of the paper's conclusion).
 """
 
-from repro.core.clients import ClosedPopulation, OpenSource
+from repro.core.arrivals import (
+    ArrivalProcess,
+    ArrivalSpec,
+    ClosedArrivals,
+    ClosedPopulation,
+    ModulatedArrivals,
+    OpenArrivals,
+    OpenPoisson,
+    OpenSource,
+    PartlyOpenArrivals,
+    PartlyOpenSessions,
+    PiecewiseRate,
+    SinusoidRate,
+)
 from repro.core.controller import ControllerReport, MplController, Thresholds
 from repro.core.frontend import ExternalScheduler
 from repro.core.policies import (
@@ -25,17 +39,27 @@ from repro.core.system import RunResult, SimulatedSystem, SystemConfig
 from repro.core.tuner import MplTuner, TuningResult
 
 __all__ = [
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "ClosedArrivals",
     "ClosedPopulation",
     "ControllerReport",
     "ExternalScheduler",
     "FifoPolicy",
+    "ModulatedArrivals",
     "MplController",
     "MplTuner",
+    "OpenArrivals",
+    "OpenPoisson",
     "OpenSource",
+    "PartlyOpenArrivals",
+    "PartlyOpenSessions",
+    "PiecewiseRate",
     "PriorityPolicy",
     "QueuePolicy",
     "RunResult",
     "SimulatedSystem",
+    "SinusoidRate",
     "SjfPolicy",
     "SystemConfig",
     "Thresholds",

@@ -1,120 +1,26 @@
-"""Transaction sources: closed client populations and open arrivals.
+"""Backwards-compatible aliases for the arrival layer.
 
-The paper's main experiments are *closed*: 100 clients each submit a
-transaction, wait for it to complete, think, and repeat (§2.2).  The
-response-time study of §3.2 switches to an *open* system with Poisson
-arrivals.  Both sources draw transactions from a
-:class:`~repro.workloads.spec.WorkloadSpec` and optionally run them
-through a priority assigner (§5's random 10%-high split).
+The transaction sources grew into the pluggable arrival layer of
+:mod:`repro.core.arrivals` (closed populations, open Poisson,
+partly-open sessions, modulated rates).  This module keeps the
+original import surface alive; new code should import from
+:mod:`repro.core.arrivals` directly.
 """
 
-from __future__ import annotations
+from repro.core.arrivals import (
+    ArrivalProcess,
+    ClosedPopulation,
+    OpenPoisson,
+    OpenSource,
+    PriorityAssigner,
+    fraction_high_assigner,
+)
 
-import itertools
-import random
-from typing import Callable, Optional
-
-from repro.core.frontend import ExternalScheduler
-from repro.dbms.transaction import Priority, Transaction
-from repro.sim.distributions import Distribution
-from repro.sim.engine import Simulator
-from repro.workloads.spec import WorkloadSpec
-
-PriorityAssigner = Callable[[random.Random], int]
-
-
-class ClosedPopulation:
-    """``num_clients`` closed-loop clients with a think-time distribution."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        frontend: ExternalScheduler,
-        workload: WorkloadSpec,
-        num_clients: int,
-        think_time: Optional[Distribution],
-        rng: random.Random,
-        priority_assigner: Optional[PriorityAssigner] = None,
-    ):
-        if num_clients < 1:
-            raise ValueError(f"num_clients must be >= 1, got {num_clients!r}")
-        self.sim = sim
-        self.frontend = frontend
-        self.workload = workload
-        self.num_clients = num_clients
-        self.think_time = think_time
-        self._rng = rng
-        self._assigner = priority_assigner
-        self._tids = itertools.count()
-        self._running = False
-
-    def start(self) -> None:
-        """Launch all client processes (idempotent)."""
-        if self._running:
-            return
-        self._running = True
-        for client_id in range(self.num_clients):
-            self.sim.process(self._client(client_id), name=f"client{client_id}")
-
-    def _client(self, client_id: int):
-        while True:
-            priority = self._assigner(self._rng) if self._assigner else Priority.LOW
-            tx = self.workload.sample_transaction(
-                self._rng, next(self._tids), priority=priority, client_id=client_id
-            )
-            yield self.frontend.submit(tx)
-            if self.think_time is not None and self.think_time.mean > 0:
-                yield self.sim.timeout(self.think_time.sample(self._rng))
-
-
-class OpenSource:
-    """Poisson (or generally renewal) arrivals into the front-end."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        frontend: ExternalScheduler,
-        workload: WorkloadSpec,
-        interarrival: Distribution,
-        rng: random.Random,
-        priority_assigner: Optional[PriorityAssigner] = None,
-        max_arrivals: Optional[int] = None,
-    ):
-        self.sim = sim
-        self.frontend = frontend
-        self.workload = workload
-        self.interarrival = interarrival
-        self.max_arrivals = max_arrivals
-        self._rng = rng
-        self._assigner = priority_assigner
-        self._tids = itertools.count()
-        self._running = False
-
-    def start(self) -> None:
-        """Launch the arrival process (idempotent)."""
-        if self._running:
-            return
-        self._running = True
-        self.sim.process(self._arrivals(), name="open-source")
-
-    def _arrivals(self):
-        generated = 0
-        while self.max_arrivals is None or generated < self.max_arrivals:
-            yield self.sim.timeout(self.interarrival.sample(self._rng))
-            priority = self._assigner(self._rng) if self._assigner else Priority.LOW
-            tx = self.workload.sample_transaction(
-                self._rng, next(self._tids), priority=priority
-            )
-            self.frontend.submit(tx)
-            generated += 1
-
-
-def fraction_high_assigner(fraction: float) -> PriorityAssigner:
-    """The paper's §5 assignment: each transaction is HIGH w.p. ``fraction``."""
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
-
-    def assign(rng: random.Random) -> int:
-        return Priority.HIGH if rng.random() < fraction else Priority.LOW
-
-    return assign
+__all__ = [
+    "ArrivalProcess",
+    "ClosedPopulation",
+    "OpenPoisson",
+    "OpenSource",
+    "PriorityAssigner",
+    "fraction_high_assigner",
+]

@@ -15,7 +15,13 @@ import hashlib
 import json
 from typing import Any, Dict, List, Optional
 
-from repro.core.clients import ClosedPopulation, OpenSource, fraction_high_assigner
+from repro.core.arrivals import (
+    ArrivalProcess,
+    ArrivalSpec,
+    ClosedArrivals,
+    OpenArrivals,
+    fraction_high_assigner,
+)
 from repro.core.frontend import ExternalScheduler
 from repro.core.policies import make_policy
 from repro.dbms.config import HardwareConfig, InternalPolicy, IsolationLevel
@@ -23,7 +29,6 @@ from repro.dbms.engine import DatabaseEngine
 from repro.dbms.transaction import Priority
 from repro.metrics import stats
 from repro.metrics.collector import MetricsCollector, TransactionRecord
-from repro.sim.distributions import Exponential
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.random import RandomStreams
 from repro.workloads.spec import WorkloadSpec
@@ -38,16 +43,26 @@ def canonical_jsonable(value: Any) -> Any:
     two structurally equal configs encode identically regardless of
     construction order — which is what makes content-addressed result
     caching sound.  It is not meant to round-trip back into objects.
+
+    A dataclass may declare ``FINGERPRINT_OMIT_DEFAULTS`` (a set of
+    field names): those fields are left out of the encoding while they
+    hold their declared default.  Config fields added after a release
+    go there, so every pre-existing config keeps its exact content hash
+    — and hence its cache entries — while non-default values of the
+    new field still change the hash as they must.
     """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, enum.Enum):
         return value.value
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = {
-            f.name: canonical_jsonable(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        }
+        omit = getattr(type(value), "FINGERPRINT_OMIT_DEFAULTS", ())
+        fields = {}
+        for f in dataclasses.fields(value):
+            field_value = getattr(value, f.name)
+            if f.name in omit and field_value == f.default:
+                continue
+            fields[f.name] = canonical_jsonable(field_value)
         return {"__class__": type(value).__name__, **fields}
     if isinstance(value, dict):
         # enum keys encode by value so the encoding is stable across
@@ -73,9 +88,15 @@ def canonical_jsonable(value: Any) -> Any:
 class SystemConfig:
     """Everything needed to build one simulated system.
 
-    Closed mode (the default) runs ``num_clients`` think/submit loops;
-    setting ``arrival_rate`` switches to an open system with Poisson
-    arrivals at that rate (transactions per second).
+    The arrival regime comes from ``arrival`` — any
+    :class:`~repro.core.arrivals.ArrivalSpec` (closed, open Poisson,
+    partly-open sessions, modulated rates).  The legacy knobs remain:
+    with ``arrival=None`` (the default), ``num_clients`` /
+    ``think_time_s`` describe a closed system and setting
+    ``arrival_rate`` switches to open Poisson at that rate — and those
+    legacy configs keep the exact content fingerprints they had before
+    ``arrival`` existed (the field is omitted from the canonical
+    encoding at its default), so cached results stay valid.
     """
 
     workload: WorkloadSpec
@@ -89,6 +110,29 @@ class SystemConfig:
     arrival_rate: Optional[float] = None
     high_priority_fraction: float = 0.0
     seed: int = 1
+    arrival: Optional[ArrivalSpec] = None
+
+    FINGERPRINT_OMIT_DEFAULTS = frozenset({"arrival"})
+
+    def __post_init__(self) -> None:
+        if self.arrival is not None and self.arrival_rate is not None:
+            raise ValueError(
+                "specify either an arrival spec or the legacy arrival_rate, not both"
+            )
+
+    def arrival_spec(self) -> ArrivalSpec:
+        """The effective arrival regime (legacy knobs normalized)."""
+        if self.arrival is not None:
+            return self.arrival
+        if self.arrival_rate is not None:
+            if self.arrival_rate <= 0:
+                raise ValueError(
+                    f"arrival_rate must be positive, got {self.arrival_rate!r}"
+                )
+            return OpenArrivals(rate=self.arrival_rate)
+        return ClosedArrivals(
+            num_clients=self.num_clients, think_time_s=self.think_time_s
+        )
 
     def to_jsonable(self) -> Dict[str, Any]:
         """Canonical JSON-encodable view (see :func:`canonical_jsonable`)."""
@@ -195,32 +239,13 @@ class SimulatedSystem:
         assigner = None
         if config.high_priority_fraction > 0:
             assigner = fraction_high_assigner(config.high_priority_fraction)
-        if config.arrival_rate is not None:
-            if config.arrival_rate <= 0:
-                raise ValueError(
-                    f"arrival_rate must be positive, got {config.arrival_rate!r}"
-                )
-            self.source: object = OpenSource(
-                self.sim,
-                self.frontend,
-                config.workload,
-                interarrival=Exponential(1.0 / config.arrival_rate),
-                rng=self.streams.stream("arrivals"),
-                priority_assigner=assigner,
-            )
-        else:
-            think = (
-                Exponential(config.think_time_s) if config.think_time_s > 0 else None
-            )
-            self.source = ClosedPopulation(
-                self.sim,
-                self.frontend,
-                config.workload,
-                num_clients=config.num_clients,
-                think_time=think,
-                rng=self.streams.stream("clients"),
-                priority_assigner=assigner,
-            )
+        self.source: ArrivalProcess = config.arrival_spec().build(
+            self.sim,
+            self.frontend,
+            config.workload,
+            self.streams,
+            priority_assigner=assigner,
+        )
 
     # -- measurement loop ----------------------------------------------------
 
@@ -234,15 +259,18 @@ class SimulatedSystem:
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count!r}")
         self.source.start()
-        start_index = len(self.collector.records)
+        records = self.collector.records  # appended-to in place, identity stable
+        start_index = len(records)
         target = start_index + count
-        while len(self.collector.records) < target:
-            if self.sim.peek() == float("inf"):
+        step = self.sim.step
+        agenda = self.sim._agenda
+        while len(records) < target:
+            if not agenda:
                 raise SimulationError(
                     "simulation drained before reaching the completion target"
                 )
-            self.sim.step()
-        return self.collector.records[start_index:target]
+            step()
+        return records[start_index:target]
 
     def run(self, transactions: int = 2000, warmup_fraction: float = 0.2) -> RunResult:
         """Run until ``transactions`` complete; report post-warmup stats."""

@@ -19,23 +19,27 @@ import itertools
 from typing import Dict
 
 from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.station import Station
 
 _EPSILON = 1e-9
 
 
 class _Job:
-    __slots__ = ("handle", "demand", "remaining", "weight", "event", "rate")
+    __slots__ = ("handle", "demand", "remaining", "weight", "event", "rate", "priority")
 
-    def __init__(self, handle: int, demand: float, weight: float, event: Event):
+    def __init__(
+        self, handle: int, demand: float, weight: float, event: Event, priority: int = 0
+    ):
         self.handle = handle
         self.demand = demand
         self.remaining = demand
         self.weight = weight
         self.event = event
         self.rate = 0.0
+        self.priority = priority
 
 
-class ProcessorSharingPool:
+class ProcessorSharingPool(Station):
     """``cores`` CPUs of speed ``speed`` shared by weighted PS.
 
     A job of demand ``d`` submitted via :meth:`execute` finishes after
@@ -49,19 +53,21 @@ class ProcessorSharingPool:
             raise ValueError(f"cores must be >= 1, got {cores!r}")
         if speed <= 0:
             raise ValueError(f"speed must be positive, got {speed!r}")
-        self.sim = sim
+        super().__init__(sim, "cpu")
         self.cores = cores
         self.speed = speed
         self._jobs: Dict[int, _Job] = {}
         self._handles = itertools.count(1)
         self._last_settle = sim.now
         self._timer_generation = 0
+        self._timer_callback = self._on_timer_event  # no per-arm closure
+        self._weighted_jobs = 0  # active jobs with weight != 1.0
         self._busy_core_time = 0.0  # integral of (total service rate / speed) dt
         self._work_completed = 0.0
 
     # -- public API ------------------------------------------------------
 
-    def execute(self, demand: float, weight: float = 1.0) -> Event:
+    def execute(self, demand: float, weight: float = 1.0, priority: int = 0) -> Event:
         """Submit a job of CPU demand ``demand``; fires when served.
 
         ``weight`` is the weighted-PS share weight (used by internal
@@ -73,13 +79,20 @@ class ProcessorSharingPool:
             raise ValueError(f"weight must be positive, got {weight!r}")
         event = Event(self.sim)
         if demand <= _EPSILON:
+            self._record(priority)
             event.succeed()
             return event
         self._settle()
-        job = _Job(next(self._handles), float(demand), weight, event)
+        job = _Job(next(self._handles), float(demand), weight, event, priority)
         self._jobs[job.handle] = job
+        if weight != 1.0:
+            self._weighted_jobs += 1
         self._reallocate_and_arm()
         return event
+
+    def serve(self, demand: float, priority: int = 0, weight: float = 1.0) -> Event:
+        """The :class:`~repro.sim.station.Station` face of :meth:`execute`."""
+        return self.execute(demand, weight=weight, priority=priority)
 
     def set_weight(self, handle: int, weight: float) -> None:
         """Change a running job's weight (rarely needed; for tooling)."""
@@ -89,6 +102,8 @@ class ProcessorSharingPool:
         if job is None:
             raise SimulationError(f"no active job with handle {handle!r}")
         self._settle()
+        if (job.weight != 1.0) != (weight != 1.0):
+            self._weighted_jobs += 1 if weight != 1.0 else -1
         job.weight = weight
         self._reallocate_and_arm()
 
@@ -102,6 +117,11 @@ class ProcessorSharingPool:
         """Cumulative busy time summed over cores (for utilization)."""
         self._settle()
         return self._busy_core_time
+
+    @property
+    def busy_time(self) -> float:
+        """Station-protocol alias for :attr:`busy_core_time`."""
+        return self.busy_core_time
 
     @property
     def work_completed(self) -> float:
@@ -135,6 +155,24 @@ class ProcessorSharingPool:
 
     def _water_fill(self) -> None:
         """Weighted max-min allocation with a per-job cap of one core."""
+        if self._weighted_jobs == 0:
+            # Uniform weights — the overwhelmingly common case.  Every
+            # job gets min(speed, capacity / n), exactly what the
+            # general loop below computes for equal weights.
+            n = len(self._jobs)
+            if n == 0:
+                return
+            speed = self.speed
+            capacity = self.cores * speed
+            if capacity <= _EPSILON:
+                for job in self._jobs.values():
+                    job.rate = 0.0
+                return
+            share = capacity / n
+            rate = speed if share >= speed - _EPSILON else share
+            for job in self._jobs.values():
+                job.rate = rate
+            return
         active = list(self._jobs.values())
         for job in active:
             job.rate = 0.0
@@ -163,14 +201,16 @@ class ProcessorSharingPool:
         finished = [job for job in self._jobs.values() if job.remaining <= _EPSILON]
         for job in finished:
             del self._jobs[job.handle]
+            if job.weight != 1.0:
+                self._weighted_jobs -= 1
             self._work_completed += job.demand
+            self._record(job.priority, service_time=job.demand)
             job.event.succeed()
         if finished:
             self._water_fill()
 
     def _arm_timer(self) -> None:
-        self._timer_generation += 1
-        generation = self._timer_generation
+        self._timer_generation = generation = self._timer_generation + 1
         next_finish = None
         for job in self._jobs.values():
             if job.rate > _EPSILON:
@@ -179,8 +219,14 @@ class ProcessorSharingPool:
                     next_finish = eta
         if next_finish is None:
             return
-        timer = self.sim.timeout(max(0.0, next_finish))
-        timer.add_callback(lambda _event: self._on_timer(generation))
+        # The generation travels as the timer's value so arming needs no
+        # closure; a stale timer (superseded by a reallocation) is
+        # recognized and ignored in the shared callback.
+        timer = self.sim.timeout(max(0.0, next_finish), value=generation)
+        timer._cb = self._timer_callback
+
+    def _on_timer_event(self, event) -> None:
+        self._on_timer(event.value)
 
     def _on_timer(self, generation: int) -> None:
         if generation != self._timer_generation:

@@ -5,6 +5,10 @@ service times (seek + rotation + transfer folded into one
 distribution).  :class:`DiskArray` stripes a transaction's page reads
 round-robin across the data disks, matching the paper's evenly striped
 data layout (§4.1: "the data is evenly striped over the disks").
+
+Both speak the :class:`~repro.sim.station.Station` protocol, so the
+engine (and any new scenario) can treat them interchangeably with the
+CPU pool and the WAL disk.
 """
 
 from __future__ import annotations
@@ -15,9 +19,10 @@ from typing import Deque, List, Tuple
 
 from repro.sim.distributions import Distribution
 from repro.sim.engine import Event, Simulator
+from repro.sim.station import ClassStats, Station
 
 
-class Disk:
+class Disk(Station):
     """A single FCFS disk.
 
     Requests are served one at a time in arrival order; an optional
@@ -33,24 +38,38 @@ class Disk:
         name: str = "disk",
         priority_order: bool = False,
     ):
-        self.sim = sim
-        self.name = name
+        super().__init__(sim, name)
         self.service_time = service_time
         self.priority_order = priority_order
         self._rng = rng
-        self._queue: Deque[Tuple[int, Event]] = collections.deque()
+        self._queue: Deque[Tuple[int, Event, float]] = collections.deque()
         self._busy = False
         self._busy_time = 0.0
         self._requests_served = 0
+        # The in-service request; a single slot suffices for FCFS, and
+        # the shared bound callback keeps completion allocation-free.
+        self._current_done: Event | None = None
+        self._current_duration = 0.0
+        self._current_priority = 0
+        self._current_enqueued = 0.0
+        self._finish_callback = self._finish
 
     def submit(self, priority: int = 0) -> Event:
         """Enqueue one page request; the event fires when it completes."""
         done = Event(self.sim)
         if self._busy:
-            self._queue.append((priority, done))
+            self._queue.append((priority, done, self.sim.now))
         else:
-            self._start(done)
+            self._start(done, priority, self.sim.now)
         return done
+
+    def serve(self, demand: float = 0.0, priority: int = 0, weight: float = 1.0) -> Event:
+        """Station face of :meth:`submit` (service time is sampled)."""
+        if demand != 0.0:
+            raise ValueError(
+                f"disk {self.name!r} samples its own service time; demand must be 0"
+            )
+        return self.submit(priority)
 
     @property
     def queue_length(self) -> int:
@@ -73,37 +92,49 @@ class Disk:
             return 0.0
         return self._busy_time / elapsed
 
-    def _start(self, done: Event) -> None:
+    def _start(self, done: Event, priority: int, enqueued: float) -> None:
         self._busy = True
         duration = self.service_time.sample(self._rng)
+        self._current_done = done
+        self._current_duration = duration
+        self._current_priority = priority
+        self._current_enqueued = enqueued
         timer = self.sim.timeout(duration)
-        timer.add_callback(lambda _event: self._finish(done, duration))
+        timer._cb = self._finish_callback
 
-    def _finish(self, done: Event, duration: float) -> None:
+    def _finish(self, _event: Event) -> None:
+        done = self._current_done
+        duration = self._current_duration
+        self._current_done = None
         self._busy_time += duration
         self._requests_served += 1
+        self._record(
+            self._current_priority,
+            service_time=duration,
+            wait_time=max(0.0, self.sim.now - duration - self._current_enqueued),
+        )
         done.succeed()
         if self._queue:
-            next_done = self._pop_next()
-            self._start(next_done)
+            priority, next_done, enqueued = self._pop_next()
+            self._start(next_done, priority, enqueued)
         else:
             self._busy = False
 
-    def _pop_next(self) -> Event:
+    def _pop_next(self) -> Tuple[int, Event, float]:
         if not self.priority_order:
-            return self._queue.popleft()[1]
+            return self._queue.popleft()
         best_index = 0
         best_priority = self._queue[0][0]
-        for index, (priority, _event) in enumerate(self._queue):
+        for index, (priority, _event, _enqueued) in enumerate(self._queue):
             if priority > best_priority:
                 best_priority = priority
                 best_index = index
-        _priority, event = self._queue[best_index]
+        entry = self._queue[best_index]
         del self._queue[best_index]
-        return event
+        return entry
 
 
-class DiskArray:
+class DiskArray(Station):
     """``n`` data disks with round-robin page striping.
 
     A transaction's i-th physical read goes to disk
@@ -122,12 +153,13 @@ class DiskArray:
     ):
         if num_disks < 1:
             raise ValueError(f"num_disks must be >= 1, got {num_disks!r}")
-        self.sim = sim
+        super().__init__(sim, "disk")
         self.disks: List[Disk] = [
             Disk(sim, service_time, rng, name=f"disk{i}", priority_order=priority_order)
             for i in range(num_disks)
         ]
         self._next_home = 0
+        self._round_robin = 0
 
     def __len__(self) -> int:
         return len(self.disks)
@@ -142,6 +174,38 @@ class DiskArray:
         """Submit a transaction's ``sequence``-th page read."""
         disk = self.disks[(home + sequence) % len(self.disks)]
         return disk.submit(priority)
+
+    def serve(self, demand: float = 0.0, priority: int = 0, weight: float = 1.0) -> Event:
+        """Station face: one page read, striped round-robin.
+
+        Uses its own rotor so protocol users don't perturb the
+        per-transaction ``assign_home`` sequence.
+        """
+        if demand != 0.0:
+            raise ValueError(
+                f"disk array {self.name!r} samples its own service time; "
+                "demand must be 0"
+            )
+        disk = self.disks[self._round_robin % len(self.disks)]
+        self._round_robin += 1
+        return disk.submit(priority)
+
+    def class_stats(self):
+        """Merged per-class stats across the member disks.
+
+        The merge is a fresh snapshot; the live counters stay on the
+        member disks (the array itself never records).
+        """
+        merged = {}
+        for disk in self.disks:
+            for priority, stats in disk.per_class.items():
+                into = merged.get(priority)
+                if into is None:
+                    into = merged[priority] = ClassStats()
+                into.requests += stats.requests
+                into.service_time += stats.service_time
+                into.wait_time += stats.wait_time
+        return merged
 
     @property
     def busy_time(self) -> float:

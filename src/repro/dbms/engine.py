@@ -33,6 +33,7 @@ from repro.dbms.wal import LogManager
 from repro.sim.distributions import Exponential, LogNormal
 from repro.sim.engine import Interrupt, Process, Simulator
 from repro.sim.random import RandomStreams
+from repro.sim.station import DelayStation, Station
 
 
 class DatabaseEngine:
@@ -99,12 +100,35 @@ class DatabaseEngine:
         self.lockmgr = LockManager(
             sim, self.internal.lock_scheduling, preempt=self._preempt
         )
+        #: Every resource the engine composes, by station name.  New
+        #: stations (a network hop, a replication log, ...) drop in via
+        #: :meth:`add_station` without touching the engine internals.
+        self.stations: Dict[str, Station] = {}
+        for station in (self.cpu, self.disks, self.log, self.lockmgr):
+            self.add_station(station)
+        self.network: Optional[DelayStation] = None
+        network_ms = getattr(hardware, "network_delay_ms", 0.0)
+        if network_ms > 0:
+            self.network = DelayStation(
+                sim,
+                "network",
+                delay=Exponential(network_ms / 1000.0),
+                rng=streams.stream("network"),
+            )
+            self.add_station(self.network)
         self._rng: random.Random = streams.stream("engine")
         self._active: Dict[int, Process] = {}
         self.committed = 0
         self.restarts = 0
 
     # -- public API --------------------------------------------------------
+
+    def add_station(self, station: Station) -> Station:
+        """Register a station under its name (it joins the snapshots)."""
+        if station.name in self.stations:
+            raise ValueError(f"duplicate station name {station.name!r}")
+        self.stations[station.name] = station
+        return station
 
     def execute(self, tx: Transaction) -> Process:
         """Run ``tx`` to commit; the returned process fires with ``tx``.
@@ -136,11 +160,21 @@ class DatabaseEngine:
         return tx.demand_total(self.disk_service_mean, self.miss_probability)
 
     def utilization_snapshot(self, elapsed: float) -> Dict[str, float]:
-        """Per-resource utilizations over ``elapsed`` seconds."""
+        """Per-server-station utilizations over ``elapsed`` seconds."""
         return {
-            "cpu": self.cpu.utilization(elapsed),
-            "disk": self.disks.utilization(elapsed),
-            "log": self.log.utilization(elapsed),
+            name: station.utilization(elapsed)
+            for name, station in self.stations.items()
+            if station.is_server
+        }
+
+    def class_stats_snapshot(self) -> Dict[str, Dict[int, Dict[str, float]]]:
+        """Per-station, per-priority-class counters (station protocol)."""
+        return {
+            name: {
+                priority: stats.as_dict()
+                for priority, stats in station.class_stats().items()
+            }
+            for name, station in self.stations.items()
         }
 
     # -- transaction body ----------------------------------------------------
@@ -177,6 +211,8 @@ class DatabaseEngine:
         cpu_slice = tx.cpu_demand / segments
         lock_schedule = self._lock_schedule(len(locks), segments)
 
+        if self.network is not None:
+            yield self.network.serve(priority=tx.priority)
         lock_index = 0
         for segment in range(segments):
             while lock_index < len(locks) and lock_schedule[lock_index] <= segment:
@@ -184,11 +220,11 @@ class DatabaseEngine:
                 lock_index += 1
                 yield self.lockmgr.acquire(tx, item, exclusive)
             if cpu_slice > 0:
-                yield self.cpu.execute(cpu_slice, weight)
+                yield self.cpu.execute(cpu_slice, weight, tx.priority)
             if segment < misses:
                 yield self.disks.submit(home, segment, tx.priority)
         if tx.is_update:
-            yield self.log.commit()
+            yield self.log.commit(tx.priority)
         self.lockmgr.release_all(tx)
 
     def _effective_locks(self, tx: Transaction):

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.dbms.config import LockSchedulingPolicy
 from repro.dbms.transaction import Priority, Transaction
 from repro.sim.engine import Event, Simulator
+from repro.sim.station import Station
 
 
 class DeadlockError(Exception):
@@ -74,8 +75,14 @@ class _Lock:
         self.queue: List[_Request] = []
 
 
-class LockManager:
+class LockManager(Station):
     """Item-granularity lock table with pluggable queue scheduling.
+
+    As a :class:`~repro.sim.station.Station` the lock table is a pure
+    *admission* station: :meth:`acquire` and :meth:`release` do the
+    work, there is no timed service, and ``is_server`` is False so the
+    lock table never appears in utilization snapshots.  Per-class wait
+    times flow through the shared station metrics hooks.
 
     Parameters
     ----------
@@ -88,6 +95,8 @@ class LockManager:
         transaction.  Required when ``policy`` is POW.
     """
 
+    is_server = False
+
     def __init__(
         self,
         sim: Simulator,
@@ -96,7 +105,7 @@ class LockManager:
     ):
         if policy is LockSchedulingPolicy.POW and preempt is None:
             raise ValueError("POW policy requires a preempt callback")
-        self.sim = sim
+        super().__init__(sim, "locks")
         self.policy = policy
         self._preempt = preempt
         self._locks: Dict[int, _Lock] = {}
@@ -122,13 +131,26 @@ class LockManager:
         self._tx_by_id[tx.tid] = tx
         lock = self._locks.get(item)
         if lock is None:
+            # Fast path: a brand-new lock is granted immediately — no
+            # request object, no queue, exactly what the general path
+            # below would conclude.
             lock = _Lock()
             self._locks[item] = lock
+            lock.holders[tx.tid] = exclusive
+            held = self._held.get(tx.tid)
+            if held is None:
+                held = self._held[tx.tid] = set()
+            held.add(item)
+            self._record(tx.priority)
+            event = Event(self.sim)
+            event.succeed()
+            return event
         event = Event(self.sim)
 
         held_mode = lock.holders.get(tx.tid)
         if held_mode is not None:
             if held_mode or not exclusive:
+                self._record(tx.priority)
                 event.succeed()  # re-entrant: already hold a strong-enough mode
                 return event
             upgrade = True
@@ -141,6 +163,10 @@ class LockManager:
         if not event.triggered:
             self._on_block(item, lock, request)
         return event
+
+    def release(self, tx: Transaction) -> None:
+        """Station face of :meth:`release_all`."""
+        self.release_all(tx)
 
     def release_all(self, tx: Transaction) -> None:
         """Release every lock ``tx`` holds (commit or abort)."""
@@ -238,6 +264,9 @@ class LockManager:
         if self._waiting.pop(request.tx.tid, None) is not None:
             request.tx.lock_wait_time += waited
             self.total_wait_time += waited
+            self._record(request.tx.priority, wait_time=waited)
+        else:
+            self._record(request.tx.priority)
         request.event.succeed()
 
     # -- blocking: deadlock detection and POW ---------------------------------

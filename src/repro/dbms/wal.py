@@ -18,9 +18,10 @@ from typing import List
 
 from repro.sim.distributions import Distribution
 from repro.sim.engine import Event, Simulator
+from repro.sim.station import Station
 
 
-class LogManager:
+class LogManager(Station):
     """A dedicated sequential log disk.
 
     Parameters
@@ -40,24 +41,36 @@ class LogManager:
         rng: random.Random,
         group_commit: bool = True,
     ):
-        self.sim = sim
+        super().__init__(sim, "log")
         self.write_time = write_time
         self.group_commit = group_commit
         self._rng = rng
         self._writing = False
-        self._pending: List[Event] = []
+        # pending commits: (event, priority, enqueue time)
+        self._pending: List[tuple] = []
         self._busy_time = 0.0
         self._writes = 0
         self._commits = 0
+        self._batch: List[tuple] = []
+        self._batch_duration = 0.0
+        self._finish_callback = self._finish_write
 
-    def commit(self) -> Event:
+    def commit(self, priority: int = 0) -> Event:
         """Force the log for one committing transaction."""
         self._commits += 1
         done = Event(self.sim)
-        self._pending.append(done)
+        self._pending.append((done, priority, self.sim.now))
         if not self._writing:
             self._start_write()
         return done
+
+    def serve(self, demand: float = 0.0, priority: int = 0, weight: float = 1.0) -> Event:
+        """Station face of :meth:`commit` (write time is sampled)."""
+        if demand != 0.0:
+            raise ValueError(
+                f"log {self.name!r} samples its own write time; demand must be 0"
+            )
+        return self.commit(priority)
 
     @property
     def busy_time(self) -> float:
@@ -88,13 +101,27 @@ class LogManager:
             batch = [self._pending.pop(0)]
         self._writing = True
         duration = self.write_time.sample(self._rng)
+        self._batch = batch
+        self._batch_duration = duration
         timer = self.sim.timeout(duration)
-        timer.add_callback(lambda _event: self._finish_write(batch, duration))
+        timer._cb = self._finish_callback
 
-    def _finish_write(self, batch: List[Event], duration: float) -> None:
+    def _finish_write(self, _event: Event) -> None:
+        batch = self._batch
+        self._batch = []
+        duration = self._batch_duration
         self._busy_time += duration
         self._writes += 1
-        for event in batch:
+        started = self.sim.now - duration
+        for event, priority, enqueued in batch:
+            # every commit in the batch was forced by this one write;
+            # its wait is the time spent behind the previous in-flight
+            # write (0 for the commit that started this one)
+            self._record(
+                priority,
+                service_time=duration,
+                wait_time=max(0.0, started - enqueued),
+            )
             event.succeed()
         if self._pending:
             self._start_write()

@@ -44,6 +44,8 @@ _FIGURES: Dict[str, Callable] = {
     "13": figures.figure13,
     "s3.2": figures.section32_response_time,
     "s4.3": figures.controller_convergence,
+    "po": figures.partly_open,
+    "tv": figures.time_varying_controller,
 }
 
 _TABLES: Dict[str, Callable[[], str]] = {
@@ -136,6 +138,23 @@ def bench_main(argv: List[str]) -> int:
         help="replicate every grid point K times under derived seeds "
         "(variance estimation)",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="a previous BENCH_*.json to compare the cold pass against; "
+        "exits non-zero when the cold wall-clock regresses beyond "
+        "--max-regression (the CI kernel micro-benchmark gate)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="with --baseline: fail when cold time exceeds X times the "
+        "baseline's cold time (default 2.0, lenient to absorb runner "
+        "hardware variance)",
+    )
     _add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -205,6 +224,34 @@ def bench_main(argv: List[str]) -> int:
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(artifact, handle, indent=2, sort_keys=True)
     print(f"[bench {key}] warm speedup {speedup:.1f}x; artifact: {output}")
+
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            baseline_cold = float(baseline["passes"][0]["elapsed_s"])
+        except (OSError, ValueError, KeyError, IndexError, TypeError) as exc:
+            print(f"error: unreadable baseline {args.baseline!r}: {exc}", file=sys.stderr)
+            return 2
+        if baseline.get("figure") != key:
+            print(
+                f"error: baseline benchmarked figure {baseline.get('figure')!r}, "
+                f"not {key!r}; wall-clocks are not comparable",
+                file=sys.stderr,
+            )
+            return 2
+        ratio = cold_s / baseline_cold if baseline_cold > 0 else float("inf")
+        print(
+            f"[bench {key}] cold {cold_s:.2f}s vs baseline {baseline_cold:.2f}s "
+            f"({ratio:.2f}x, limit {args.max_regression:g}x)"
+        )
+        if ratio > args.max_regression:
+            print(
+                f"error: cold pass regressed {ratio:.2f}x over the baseline "
+                f"(limit {args.max_regression:g}x)",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

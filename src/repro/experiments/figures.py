@@ -12,10 +12,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.arrivals import ModulatedArrivals, PartlyOpenArrivals, SinusoidRate
+from repro.core.controller import Baseline, MplController, Thresholds
+from repro.core.system import SimulatedSystem
 from repro.dbms.config import InternalPolicy
 from repro.experiments import report
 from repro.experiments.parallel import DEFAULT_SEED, RunSpec, run_grid
-from repro.experiments.runner import spec_for, tune_setup
+from repro.experiments.runner import setup_config, spec_for, tune_setup
 from repro.priority.evaluation import (
     HIGH_PRIORITY_FRACTION,
     PrioritizationOutcome,
@@ -543,55 +546,266 @@ def figure13(fast: bool = True, seed: int = 11) -> List[FigureResult]:
     return [_internal_vs_external(3, InternalPolicy.cpu_priorities(), fast, seed)]
 
 
+# -- new-scenario figures: partly-open sessions and time-varying load ---------
+
+#: Offered transaction rate for the stand-alone partly-open bench grid:
+#: ≈ 80% of setup 1's fast-probe closed capacity (the figure function
+#: probes the live capacity instead of relying on this constant).
+PARTLY_OPEN_NOMINAL_RATE = 52.0
+
+#: Session-length mixes swept by the partly-open figure: 1 = pure open,
+#: larger means behave increasingly like a closed system.
+PARTLY_OPEN_MIXES = (1.0, 4.0, 16.0)
+
+#: Think time between a session's transactions (seconds).
+PARTLY_OPEN_THINK_S = 0.1
+
+
+def partly_open_grid(
+    fast: bool = True,
+    mpls: Sequence[int] = (1, 2, 4, 8, 16, 30),
+    rate: float = PARTLY_OPEN_NOMINAL_RATE,
+    mixes: Sequence[float] = PARTLY_OPEN_MIXES,
+    seed: int = DEFAULT_SEED,
+) -> List[RunSpec]:
+    """The (mix, MPL) grid behind the partly-open sweep, as data.
+
+    Every cell offers the same transaction rate; only the session mix
+    (and the MPL) varies, so the columns are directly comparable.
+    """
+    transactions = 400 if fast else 1500
+    return [
+        spec_for(
+            get_setup(1),
+            mpl=mpl,
+            transactions=transactions,
+            seed=seed,
+            arrival=PartlyOpenArrivals.for_load(
+                rate, mix, think_time_s=PARTLY_OPEN_THINK_S
+            ),
+        )
+        for mix in mixes
+        for mpl in mpls
+    ]
+
+
+def partly_open(
+    fast: bool = True, mpls: Sequence[int] = (1, 2, 4, 8, 16, 30)
+) -> List[FigureResult]:
+    """Partly-open MPL sweep: throughput and response time vs session mix.
+
+    Extends the paper's §3.2 open-system study to the partly-open
+    regime real traffic exhibits: sessions arrive Poisson, issue a
+    geometric number of transactions with think times, and leave.  At
+    mean session length 1 the source is the paper's open system; at 16
+    it is nearly closed — the safe (response-time-flat) MPL shifts
+    accordingly while the throughput story of §3.1 is unchanged.
+    """
+    transactions = 400 if fast else 1500
+    # phase 1: closed capacity probe fixes the offered load at 80%
+    probe = run_grid(
+        [spec_for(get_setup(1), mpl=None, transactions=max(400, transactions // 2))]
+    )[0]
+    rate = 0.8 * probe.throughput
+    runs = iter(run_grid(partly_open_grid(fast, mpls, rate=rate)))
+    throughput_series: List[Series] = []
+    response_series: List[Series] = []
+    for mix in PARTLY_OPEN_MIXES:
+        results = [next(runs) for _ in mpls]
+        label = f"sessions of {mix:g}"
+        throughput_series.append(
+            Series(label=label, ys=tuple(r.throughput for r in results))
+        )
+        response_series.append(
+            Series(label=label, ys=tuple(r.mean_response_time for r in results))
+        )
+    notes = (
+        f"offered load: {rate:.1f} tx/s (80% of the closed capacity "
+        f"{probe.throughput:.1f} tx/s), think time {PARTLY_OPEN_THINK_S:g}s",
+    )
+    return [
+        FigureResult(
+            figure="PO-a",
+            title="Partly-open sessions: throughput vs MPL by session mix",
+            xlabel="MPL",
+            xs=tuple(float(m) for m in mpls),
+            series=tuple(throughput_series),
+            notes=notes,
+        ),
+        FigureResult(
+            figure="PO-b",
+            title="Partly-open sessions: mean response time vs MPL by session mix",
+            xlabel="MPL",
+            xs=tuple(float(m) for m in mpls),
+            series=tuple(response_series),
+            notes=notes,
+        ),
+    ]
+
+
+def time_varying_controller(
+    fast: bool = True, setup_id: int = 1, seed: int = DEFAULT_SEED
+) -> FigureResult:
+    """Controller convergence when the arrival rate varies over time.
+
+    Drives the §4.3 feedback controller against a sinusoidally
+    modulated open source (load swinging roughly 45–95% of capacity).
+    The controller's windows straddle different phases of the cycle,
+    so this probes exactly what the paper's static experiments could
+    not: whether the observation-window extension logic keeps the loop
+    stable when "representative load" is a moving target.
+    """
+    setup = get_setup(setup_id)
+    transactions = 600 if fast else 1500
+    # phase 1: closed capacity probe to scale the rate profile
+    probe = run_grid(
+        [spec_for(setup, mpl=None, transactions=max(400, transactions // 2), seed=seed)]
+    )[0]
+    rate_function = SinusoidRate(
+        base=0.7 * probe.throughput, amplitude=0.25 * probe.throughput, period=20.0
+    )
+    arrival = ModulatedArrivals(rate_function)
+    # phase 2: the no-MPL baseline under the same modulated load (cached)
+    reference = run_grid(
+        [spec_for(setup, mpl=None, transactions=transactions, seed=seed, arrival=arrival)]
+    )[0]
+    # phase 3: the live feedback loop (inherently sequential)
+    system = SimulatedSystem(setup_config(setup, seed=seed, arrival=arrival))
+    controller = MplController(
+        system,
+        Baseline(
+            throughput=reference.throughput,
+            mean_response_time=reference.mean_response_time,
+        ),
+        Thresholds(max_throughput_loss=0.05, max_response_time_increase=0.30),
+        initial_mpl=2,
+        window=100 if fast else 200,
+    )
+    outcome = controller.tune()
+    iterations = tuple(float(i + 1) for i in range(len(outcome.trajectory)))
+    notes = (
+        f"rate profile: {rate_function.base:.1f} + {rate_function.amplitude:.1f}"
+        f" * sin(2*pi*t/{rate_function.period:g})  tx/s",
+        f"final MPL {outcome.final_mpl} after {outcome.iterations} iterations "
+        f"(converged={outcome.converged})",
+        f"baseline: {reference.throughput:.1f} tx/s, "
+        f"{reference.mean_response_time:.3f}s mean RT",
+    )
+    return FigureResult(
+        figure="TV",
+        title="Controller convergence under time-varying (sinusoidal) load",
+        xlabel="iteration",
+        xs=iterations,
+        series=(
+            Series(label="MPL", ys=tuple(float(o.mpl) for o in outcome.trajectory)),
+            Series(
+                label="throughput (tx/s)",
+                ys=tuple(o.throughput for o in outcome.trajectory),
+            ),
+            Series(
+                label="feasible (1=yes)",
+                ys=tuple(float(o.feasible) for o in outcome.trajectory),
+            ),
+        ),
+        notes=notes,
+    )
+
+
 # -- declarative grids (for `repro.experiments bench` and CI) ----------------
 
 
-def figure2_grid(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS) -> List[RunSpec]:
+@dataclasses.dataclass(frozen=True)
+class GridPanel:
+    """One panel's worth of runs: a setup list and its sample sizes."""
+
+    setup_ids: Tuple[int, ...]
+    fast_transactions: int
+    full_transactions: int
+
+    def transactions(self, fast: bool) -> int:
+        return self.fast_transactions if fast else self.full_transactions
+
+
+@dataclasses.dataclass(frozen=True)
+class GridDef:
+    """A figure's whole simulation grid, declared as data.
+
+    The single source of truth consumed by the figure functions, the
+    CLI's ``bench`` subcommand, and the parallel runner — previously
+    five near-identical ``figure*_grid`` helpers.
+    """
+
+    mpls: Tuple[int, ...]
+    panels: Tuple[GridPanel, ...]
+    #: MPL override for fast runs (only the smoke grid shrinks its axis).
+    fast_mpls: Optional[Tuple[int, ...]] = None
+
+    def build(
+        self, fast: bool = True, mpls: Optional[Sequence[int]] = None
+    ) -> List[RunSpec]:
+        if mpls is None:
+            mpls = self.fast_mpls if (fast and self.fast_mpls) else self.mpls
+        specs: List[RunSpec] = []
+        for panel in self.panels:
+            specs.extend(
+                throughput_grid(panel.setup_ids, mpls, panel.transactions(fast))
+            )
+        return specs
+
+
+GRID_DEFS: Dict[str, GridDef] = {
+    "2": GridDef(
+        mpls=_DEFAULT_MPLS,
+        panels=(GridPanel((1, 2), 700, 2500), GridPanel((3, 4), 400, 1500)),
+    ),
+    "3": GridDef(
+        mpls=_DEFAULT_MPLS,
+        panels=(GridPanel((5, 6, 7, 8), 350, 1200), GridPanel((9, 10), 250, 600)),
+    ),
+    "4": GridDef(
+        mpls=_DEFAULT_MPLS + (35,),
+        panels=(GridPanel((11, 12), 700, 2500),),
+    ),
+    "5": GridDef(
+        mpls=(1, 2, 3, 5, 7, 10, 15, 20, 30, 40),
+        panels=(GridPanel((17, 1), 700, 2500), GridPanel((16, 15), 700, 2500)),
+    ),
+    "smoke": GridDef(
+        mpls=(1, 2, 4, 8, 16, 30),
+        panels=(GridPanel((1,), 150, 600),),
+        fast_mpls=(1, 2, 4, 8),
+    ),
+}
+
+
+def figure2_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[RunSpec]:
     """The simulation grid behind Figure 2 (both panels)."""
-    return throughput_grid([1, 2], mpls, 700 if fast else 2500) + throughput_grid(
-        [3, 4], mpls, 400 if fast else 1500
-    )
+    return GRID_DEFS["2"].build(fast, mpls)
 
 
-def figure3_grid(fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS) -> List[RunSpec]:
+def figure3_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[RunSpec]:
     """The simulation grid behind Figure 3 (both panels)."""
-    transactions = 350 if fast else 1200
-    return throughput_grid([5, 6, 7, 8], mpls, transactions) + throughput_grid(
-        [9, 10], mpls, max(250, transactions // 2)
-    )
+    return GRID_DEFS["3"].build(fast, mpls)
 
 
-def figure4_grid(
-    fast: bool = True, mpls: Sequence[int] = _DEFAULT_MPLS + (35,)
-) -> List[RunSpec]:
+def figure4_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[RunSpec]:
     """The simulation grid behind Figure 4."""
-    return throughput_grid([11, 12], mpls, 700 if fast else 2500)
+    return GRID_DEFS["4"].build(fast, mpls)
 
 
-def figure5_grid(
-    fast: bool = True,
-    mpls: Sequence[int] = (1, 2, 3, 5, 7, 10, 15, 20, 30, 40),
-) -> List[RunSpec]:
+def figure5_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[RunSpec]:
     """The simulation grid behind Figure 5 (both panels)."""
-    transactions = 700 if fast else 2500
-    return throughput_grid([17, 1], mpls, transactions) + throughput_grid(
-        [16, 15], mpls, transactions
-    )
+    return GRID_DEFS["5"].build(fast, mpls)
 
 
 def smoke_grid(fast: bool = True) -> List[RunSpec]:
     """A deliberately cheap grid for CI smoke runs and cache benchmarks."""
-    mpls = (1, 2, 4, 8) if fast else (1, 2, 4, 8, 16, 30)
-    transactions = 150 if fast else 600
-    return throughput_grid([1], mpls, transactions)
+    return GRID_DEFS["smoke"].build(fast)
 
 
 #: Figure key → grid builder, the machine-readable face of the figures
 #: above.  ``bench`` runs any of these through the parallel runner.
 FIGURE_GRIDS: Dict[str, Callable[[bool], List[RunSpec]]] = {
-    "2": figure2_grid,
-    "3": figure3_grid,
-    "4": figure4_grid,
-    "5": figure5_grid,
-    "smoke": smoke_grid,
+    **{key: grid.build for key, grid in GRID_DEFS.items()},
+    "po": partly_open_grid,
 }

@@ -30,7 +30,13 @@ import tempfile
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.system import RunResult, SimulatedSystem, SystemConfig
+from repro.core.arrivals import ArrivalSpec
+from repro.core.system import (
+    RunResult,
+    SimulatedSystem,
+    SystemConfig,
+    canonical_jsonable,
+)
 from repro.dbms.config import InternalPolicy
 from repro.workloads.setups import get_setup
 
@@ -58,6 +64,10 @@ class RunSpec:
     high_priority_fraction: float = 0.0
     arrival_rate: Optional[float] = None
     warmup_fraction: float = 0.2
+    #: Arrival regime (closed / open / partly-open / modulated); None
+    #: keeps the legacy num_clients / arrival_rate behaviour — and the
+    #: legacy fingerprints.
+    arrival: Optional[ArrivalSpec] = None
     #: Free-form label carried into bench artifacts (never hashed).
     tag: str = ""
 
@@ -74,6 +84,7 @@ class RunSpec:
             high_priority_fraction=self.high_priority_fraction,
             arrival_rate=self.arrival_rate,
             seed=self.seed,
+            arrival=self.arrival,
         )
 
     def fingerprint(self) -> str:
@@ -132,6 +143,7 @@ class ResultCache:
                 "policy": spec.policy,
                 "high_priority_fraction": spec.high_priority_fraction,
                 "arrival_rate": spec.arrival_rate,
+                "arrival": canonical_jsonable(spec.arrival),
                 "tag": spec.tag,
             },
             "result": result.to_json_dict(),

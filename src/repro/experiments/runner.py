@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.arrivals import ArrivalSpec
 from repro.core.controller import Thresholds
 from repro.core.system import RunResult, SimulatedSystem, SystemConfig
 from repro.core.tuner import MplTuner, TuningResult
@@ -29,6 +30,7 @@ def setup_config(
     high_priority_fraction: float = 0.0,
     arrival_rate: Optional[float] = None,
     seed: int = 11,
+    arrival: Optional[ArrivalSpec] = None,
 ) -> SystemConfig:
     """A :class:`SystemConfig` for one Table 2 setup."""
     return SystemConfig(
@@ -41,6 +43,7 @@ def setup_config(
         high_priority_fraction=high_priority_fraction,
         arrival_rate=arrival_rate,
         seed=seed,
+        arrival=arrival,
     )
 
 
@@ -53,6 +56,7 @@ def spec_for(
     internal: Optional[InternalPolicy] = None,
     high_priority_fraction: float = 0.0,
     arrival_rate: Optional[float] = None,
+    arrival: Optional[ArrivalSpec] = None,
     tag: str = "",
 ) -> RunSpec:
     """The :class:`RunSpec` equivalent of a :func:`run_setup` call."""
@@ -65,6 +69,7 @@ def spec_for(
         internal=internal,
         high_priority_fraction=high_priority_fraction,
         arrival_rate=arrival_rate,
+        arrival=arrival,
         tag=tag,
     )
 
@@ -78,6 +83,7 @@ def run_setup(
     internal: Optional[InternalPolicy] = None,
     high_priority_fraction: float = 0.0,
     arrival_rate: Optional[float] = None,
+    arrival: Optional[ArrivalSpec] = None,
 ) -> RunResult:
     """Run one setup at one MPL and return its measurements.
 
@@ -96,6 +102,7 @@ def run_setup(
         internal=internal,
         high_priority_fraction=high_priority_fraction,
         arrival_rate=arrival_rate,
+        arrival=arrival,
     )
     try:
         canonical = get_setup(setup.setup_id) == setup
@@ -110,6 +117,7 @@ def run_setup(
             high_priority_fraction=high_priority_fraction,
             arrival_rate=arrival_rate,
             seed=seed,
+            arrival=arrival,
         )
         return SimulatedSystem(config).run(transactions=transactions)
     return run_grid([spec])[0]

@@ -1,0 +1,164 @@
+"""The unified service-station protocol every simulated resource speaks.
+
+A transaction moving through the DBMS passes a sequence of *stations* —
+the CPU pool, the disk array, the WAL disk, the lock table, and any
+scenario-specific extras such as a network/front-end delay.  Before
+this layer each resource grew its own acquire/serve/release plumbing
+and its own metrics; :class:`Station` factors the shared surface out:
+
+* **Lifecycle** — ``acquire`` (admission: lock grants, queue entry),
+  ``serve`` (timed service for a demand), ``release`` (give back what
+  ``acquire`` granted).  Pure servers only implement ``serve``; the
+  lock table only implements ``acquire``/``release``.
+* **Metrics** — every station reports ``busy_time``,
+  ``requests_served`` and ``utilization(elapsed)``, plus per-priority-
+  class counters (:class:`ClassStats`) fed through the
+  :meth:`Station._record` hook, so per-class breakdowns need no
+  resource-specific code.
+
+The engine composes stations through this protocol (see
+:attr:`repro.dbms.engine.DatabaseEngine.stations`); adding a resource
+to the model means subclassing :class:`Station` and registering it —
+no engine surgery.  :class:`DelayStation` is the drop-in example: an
+infinite-server delay (network hop, front-end parsing) that slots into
+the pipeline without touching any other layer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.sim.distributions import Distribution
+from repro.sim.engine import Event, Simulator
+
+
+class ClassStats:
+    """Per-priority-class counters one station accumulates."""
+
+    __slots__ = ("requests", "service_time", "wait_time")
+
+    def __init__(self):
+        self.requests = 0
+        self.service_time = 0.0
+        self.wait_time = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "service_time": self.service_time,
+            "wait_time": self.wait_time,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClassStats(requests={self.requests}, "
+            f"service_time={self.service_time:.6g}, "
+            f"wait_time={self.wait_time:.6g})"
+        )
+
+
+class Station:
+    """Base class: acquire/serve/release plus per-class metrics.
+
+    Subclasses call ``Station.__init__(self, sim, name)`` first, then
+    override whichever lifecycle phases the resource actually has.
+    The defaults make every phase optional: ``acquire`` grants
+    immediately, ``release`` is a no-op, and ``serve`` must be
+    overridden by stations that perform timed service.
+    """
+
+    #: Whether this station is a server whose utilization belongs in a
+    #: run's utilization snapshot (the lock table, a pure admission
+    #: station, sets this False).
+    is_server = True
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.per_class: Dict[int, ClassStats] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def acquire(self, *args, **kwargs) -> Event:
+        """Admission phase; the default grants immediately."""
+        event = Event(self.sim)
+        event.succeed()
+        return event
+
+    def serve(self, demand: float, priority: int = 0, weight: float = 1.0) -> Event:
+        """Timed service of ``demand``; fires when served."""
+        raise NotImplementedError(f"station {self.name!r} does not serve demands")
+
+    def release(self, *args, **kwargs) -> None:
+        """Give back whatever ``acquire`` granted; default no-op."""
+
+    # -- metrics -----------------------------------------------------------
+
+    def _record(
+        self, priority: int, service_time: float = 0.0, wait_time: float = 0.0
+    ) -> None:
+        """Count one served/granted request for ``priority``'s class."""
+        stats = self.per_class.get(priority)
+        if stats is None:
+            stats = self.per_class[priority] = ClassStats()
+        stats.requests += 1
+        stats.service_time += service_time
+        stats.wait_time += wait_time
+
+    def class_stats(self) -> Dict[int, ClassStats]:
+        """Snapshot of the per-class counters (live objects)."""
+        return dict(self.per_class)
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative busy time (subclass-specific meaning)."""
+        return 0.0
+
+    @property
+    def requests_served(self) -> int:
+        """Requests this station completed, summed over classes."""
+        return sum(stats.requests for stats in self.per_class.values())
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction of ``elapsed`` (infinite servers: mean jobs)."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / elapsed
+
+
+class DelayStation(Station):
+    """An infinite-server delay: every request is served immediately.
+
+    Models network hops, front-end parsing, or any per-request latency
+    with no queueing.  ``utilization`` reports the time-average number
+    of requests in the delay (Little's law), which can exceed 1.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "delay",
+        delay: Optional[Distribution] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(sim, name)
+        self.delay = delay
+        self._rng = rng
+        self._busy_time = 0.0
+
+    def serve(self, demand: float = 0.0, priority: int = 0, weight: float = 1.0) -> Event:
+        """Delay for ``demand`` seconds, or a sampled delay when 0."""
+        if demand <= 0.0 and self.delay is not None:
+            if self._rng is None:
+                raise ValueError(f"station {self.name!r} has no rng to sample with")
+            demand = self.delay.sample(self._rng)
+        if demand < 0:
+            raise ValueError(f"delay must be non-negative, got {demand!r}")
+        self._busy_time += demand
+        self._record(priority, service_time=demand)
+        return self.sim.timeout(demand)
+
+    @property
+    def busy_time(self) -> float:
+        return self._busy_time

@@ -233,6 +233,55 @@ class TestCli:
         assert cli_main(["bench", "--figure", "zzz"]) == 2
         assert "unknown figure grid" in capsys.readouterr().err
 
+    def test_bench_baseline_gate_passes_against_itself(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert cli_main(
+            ["bench", "--cache-dir", str(tmp_path / "c1"), "--output", baseline]
+        ) == 0
+        assert cli_main(
+            ["bench", "--cache-dir", str(tmp_path / "c2"),
+             "--output", str(tmp_path / "check.json"),
+             "--baseline", baseline, "--max-regression", "1000"]
+        ) == 0
+        assert "vs baseline" in capsys.readouterr().out
+
+    def test_bench_baseline_gate_fails_on_regression(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert cli_main(
+            ["bench", "--cache-dir", str(tmp_path / "c1"), "--output", baseline]
+        ) == 0
+        assert cli_main(
+            ["bench", "--cache-dir", str(tmp_path / "c2"),
+             "--output", str(tmp_path / "check.json"),
+             "--baseline", baseline, "--max-regression", "0.000001"]
+        ) == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_bench_baseline_figure_mismatch_rejected(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert cli_main(
+            ["bench", "--figure", "smoke", "--cache-dir", str(tmp_path / "c1"),
+             "--output", baseline]
+        ) == 0
+        with open(baseline, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["figure"] = "2"
+        with open(baseline, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert cli_main(
+            ["bench", "--figure", "smoke", "--cache-dir", str(tmp_path / "c2"),
+             "--output", str(tmp_path / "check.json"), "--baseline", baseline]
+        ) == 2
+        assert "not comparable" in capsys.readouterr().err
+
+    def test_bench_unreadable_baseline_rejected(self, tmp_path, capsys):
+        assert cli_main(
+            ["bench", "--cache-dir", str(tmp_path / "c"),
+             "--output", str(tmp_path / "out.json"),
+             "--baseline", str(tmp_path / "missing.json")]
+        ) == 2
+        assert "unreadable baseline" in capsys.readouterr().err
+
     def test_bench_jobs_and_repeats_validation(self, capsys):
         assert cli_main(["bench", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
@@ -270,3 +319,45 @@ class TestFigureGrids:
         grid = figures.figure2_grid(fast=True, mpls=mpls)
         assert len(grid) == 4 * len(mpls)
         assert {spec.setup_id for spec in grid} == {1, 2, 3, 4}
+
+    def test_grid_defs_preserve_seed_grids(self):
+        """The registry must re-express the seed's hand-written grids.
+
+        Expectations are spelled out literally (setup order, MPL axis,
+        per-panel sample sizes from the pre-refactor helpers) so a typo
+        in GRID_DEFS cannot hide behind the wrappers that now delegate
+        to it.
+        """
+        expected = {
+            # key: (mpls, [(setup_ids, fast_txns, full_txns), ...])
+            "2": ((1, 2, 3, 5, 7, 10, 15, 20, 30),
+                  [((1, 2), 700, 2500), ((3, 4), 400, 1500)]),
+            "3": ((1, 2, 3, 5, 7, 10, 15, 20, 30),
+                  [((5, 6, 7, 8), 350, 1200), ((9, 10), 250, 600)]),
+            "4": ((1, 2, 3, 5, 7, 10, 15, 20, 30, 35),
+                  [((11, 12), 700, 2500)]),
+            "5": ((1, 2, 3, 5, 7, 10, 15, 20, 30, 40),
+                  [((17, 1), 700, 2500), ((16, 15), 700, 2500)]),
+        }
+        for key, (mpls, panels) in expected.items():
+            for fast in (True, False):
+                grid = figures.GRID_DEFS[key].build(fast)
+                want = [
+                    (setup_id, mpl, txns if fast else full_txns)
+                    for setup_ids, txns, full_txns in panels
+                    for setup_id in setup_ids
+                    for mpl in mpls
+                ]
+                got = [(s.setup_id, s.mpl, s.transactions) for s in grid]
+                assert got == want, (key, fast)
+
+    def test_smoke_grid_shrinks_when_fast(self):
+        assert len(figures.smoke_grid(fast=True)) < len(figures.smoke_grid(fast=False))
+
+    def test_partly_open_grid_holds_offered_load(self):
+        grid = figures.partly_open_grid(fast=True)
+        assert all(spec.arrival is not None for spec in grid)
+        rates = {round(spec.arrival.transaction_rate, 6) for spec in grid}
+        assert rates == {figures.PARTLY_OPEN_NOMINAL_RATE}
+        mixes = {spec.arrival.mean_session_length for spec in grid}
+        assert mixes == set(figures.PARTLY_OPEN_MIXES)

@@ -275,3 +275,106 @@ def test_callback_after_processed_runs_immediately():
     seen = []
     event.add_callback(lambda e: seen.append(e.value))
     assert seen == ["x"]
+
+
+def test_many_callbacks_fire_in_registration_order():
+    """The single-callback slot plus overflow list must preserve order."""
+    sim = Simulator()
+    event = sim.timeout(1.0)
+    order = []
+    for name in "abcd":
+        event.add_callback(lambda e, name=name: order.append(name))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_remove_callback_promotes_overflow_head():
+    sim = Simulator()
+    event = sim.timeout(1.0)
+    order = []
+    first = lambda e: order.append("first")  # noqa: E731
+    event.add_callback(first)
+    event.add_callback(lambda e: order.append("second"))
+    event.add_callback(lambda e: order.append("third"))
+    event.remove_callback(first)
+    sim.run()
+    assert order == ["second", "third"]
+
+
+def test_remove_callback_after_processed_is_noop():
+    sim = Simulator()
+    event = sim.timeout(1.0)
+    callback = lambda e: None  # noqa: E731
+    event.add_callback(callback)
+    sim.run()
+    event.remove_callback(callback)  # must not raise
+
+
+def test_timeouts_are_recycled_when_unreferenced():
+    """The free list must engage on the yield-a-timeout hot path."""
+    sim = Simulator()
+
+    def proc():
+        for _ in range(200):
+            yield sim.timeout(0.001)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.timeout_reuses > 0
+
+
+def test_referenced_timeouts_are_never_recycled():
+    """Events user code still holds must keep their identity and state."""
+    sim = Simulator()
+    held = [sim.timeout(0.5, value=i) for i in range(5)]
+
+    def churn():
+        for _ in range(300):
+            yield sim.timeout(0.01)
+
+    sim.process(churn())
+    sim.run()
+    # the held events fired exactly once and kept their values
+    assert [event.value for event in held] == list(range(5))
+    assert all(event.processed for event in held)
+    assert len(set(map(id, held))) == 5
+
+
+def test_recycled_timeout_behaves_like_fresh():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="first")
+        seen.append(value)
+        value = yield sim.timeout(1.0, value="second")
+        seen.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_interrupt_then_timer_fire_does_not_resume_twice():
+    """A detached wait's original timer must not resume the process."""
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(5.0)
+            log.append("timer")
+        except Interrupt:
+            log.append("interrupted")
+            yield sim.timeout(100.0)
+            log.append("after")
+
+    def attacker(target):
+        yield sim.timeout(1.0)
+        target.interrupt()
+
+    target = sim.process(victim())
+    sim.process(attacker(target))
+    sim.run()
+    assert log == ["interrupted", "after"]
