@@ -1,6 +1,8 @@
 # One entry point per CI job, so local runs and CI are identical.
 #
-#   make test        tier-1 test suite (what CI's test matrix runs)
+#   make test        tier-1 test suite (what CI's test matrix runs);
+#                    with pytest-cov installed it also prints coverage
+#                    and gates the cluster/routing modules at COV_MIN%
 #   make lint        ruff (falls back to a syntax check if ruff is absent)
 #   make bench       parallel-runner benchmark -> BENCH_smoke.json
 #   make reproduce   every figure and table, parallel, cached
@@ -13,12 +15,22 @@ CACHE_DIR   ?= .repro-cache
 # bench gets its own cache so its cold pass stays cold even after
 # `make reproduce` warmed the main cache
 BENCH_CACHE ?= .repro-bench-cache
+# coverage floor for the modules the cluster PR introduced (what CI
+# enforces); the rest of the tree is reported, not gated
+COV_MIN     ?= 90
+COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench kernel-bench reproduce smoke clean
+.PHONY: test lint bench cluster-bench kernel-bench reproduce smoke clean
 
 test:
-	$(PYTHON) -m pytest -x -q
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest -x -q $(COV_MODULES) \
+			--cov-report=term-missing --cov-fail-under=$(COV_MIN); \
+	else \
+		echo "pytest-cov not installed; running without the coverage gate"; \
+		$(PYTHON) -m pytest -x -q; \
+	fi
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -32,6 +44,13 @@ bench:
 	rm -rf $(BENCH_CACHE)
 	$(PYTHON) -m repro.experiments bench --figure smoke --jobs $(JOBS) \
 		--cache-dir $(BENCH_CACHE) --output BENCH_smoke.json
+
+# Sharded-cluster grid (1-8 shards, all four routing policies) through
+# the runner; CI uploads the artifact next to the smoke benchmark.
+cluster-bench:
+	rm -rf .cluster-bench-cache
+	$(PYTHON) -m repro.experiments bench --figure sh --jobs $(JOBS) \
+		--cache-dir .cluster-bench-cache --output BENCH_sh.json
 
 # Serial figure-2 cold pass against the checked-in BENCH_seed.json;
 # fails when the simulation kernel regresses >2x (what CI runs).
@@ -48,6 +67,6 @@ reproduce:
 	$(PYTHON) -m repro.experiments all --jobs $(JOBS) --cache-dir $(CACHE_DIR)
 
 clean:
-	rm -rf $(CACHE_DIR) $(BENCH_CACHE) .kernel-bench-cache src/*.egg-info
-	rm -f BENCH_smoke.json BENCH_figure2.json   # BENCH_seed.json is checked in
+	rm -rf $(CACHE_DIR) $(BENCH_CACHE) .kernel-bench-cache .cluster-bench-cache src/*.egg-info
+	rm -f BENCH_smoke.json BENCH_figure2.json BENCH_sh.json   # BENCH_seed.json is checked in
 	find . -name __pycache__ -type d -exec rm -rf {} +

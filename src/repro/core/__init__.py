@@ -7,6 +7,8 @@
   populations, open Poisson sources, partly-open sessions, and
   time-varying (modulated) rates.
 * :mod:`repro.core.system` — wiring + run harness.
+* :mod:`repro.core.cluster` — N engines behind a routing front-end,
+  with the global MPL split per shard.
 * :mod:`repro.core.controller` — the feedback controller of §4.3.
 * :mod:`repro.core.tuner` — queueing-model jump-start + controller
   ("the tool" of the paper's conclusion).
@@ -26,6 +28,14 @@ from repro.core.arrivals import (
     PiecewiseRate,
     SinusoidRate,
 )
+from repro.core.cluster import (
+    ClusterConfig,
+    ClusteredSystem,
+    ShardedExternalScheduler,
+    build_system,
+    run_cluster,
+    split_mpl,
+)
 from repro.core.controller import ControllerReport, MplController, Thresholds
 from repro.core.frontend import ExternalScheduler
 from repro.core.policies import (
@@ -43,6 +53,8 @@ __all__ = [
     "ArrivalSpec",
     "ClosedArrivals",
     "ClosedPopulation",
+    "ClusterConfig",
+    "ClusteredSystem",
     "ControllerReport",
     "ExternalScheduler",
     "FifoPolicy",
@@ -58,11 +70,15 @@ __all__ = [
     "PriorityPolicy",
     "QueuePolicy",
     "RunResult",
+    "ShardedExternalScheduler",
     "SimulatedSystem",
     "SinusoidRate",
     "SjfPolicy",
     "SystemConfig",
     "Thresholds",
     "TuningResult",
+    "build_system",
     "make_policy",
+    "run_cluster",
+    "split_mpl",
 ]

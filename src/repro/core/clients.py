@@ -1,20 +1,18 @@
-"""Backwards-compatible aliases for the arrival layer.
+"""Deprecated aliases for the arrival layer (import from ``arrivals``).
 
 The transaction sources grew into the pluggable arrival layer of
 :mod:`repro.core.arrivals` (closed populations, open Poisson,
 partly-open sessions, modulated rates).  This module keeps the
-original import surface alive; new code should import from
+original import surface alive but warns on every attribute access:
+each name resolves lazily (PEP 562) to the *same object* exported by
+:mod:`repro.core.arrivals` and raises a :class:`DeprecationWarning`
+pointing at the new home.  New code should import from
 :mod:`repro.core.arrivals` directly.
 """
 
-from repro.core.arrivals import (
-    ArrivalProcess,
-    ClosedPopulation,
-    OpenPoisson,
-    OpenSource,
-    PriorityAssigner,
-    fraction_high_assigner,
-)
+import warnings
+
+from repro.core import arrivals as _arrivals
 
 __all__ = [
     "ArrivalProcess",
@@ -24,3 +22,19 @@ __all__ = [
     "PriorityAssigner",
     "fraction_high_assigner",
 ]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        warnings.warn(
+            f"repro.core.clients.{name} is deprecated; import it from "
+            "repro.core.arrivals instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_arrivals, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,491 @@
+"""Sharded multi-engine clusters behind a routing front-end.
+
+The paper controls one MPL in front of one DBMS.  A production
+deployment partitions the database over N engines and puts a router in
+front: transactions arrive at one stream, the router dispatches each to
+a shard by policy, and the external MPL is split across the shards.
+This module is that topology, assembled entirely from existing seams —
+the :class:`~repro.sim.station.RouterStation` front-end, one
+:class:`~repro.core.frontend.ExternalScheduler` +
+:class:`~repro.dbms.engine.DatabaseEngine` pair per shard, and the
+pluggable arrival layer feeding the router:
+
+* :class:`ClusterConfig` — pure data: a tuple of per-shard
+  :class:`~repro.core.system.SystemConfig` values plus the routing
+  policy.  It fingerprints like any config (content-addressed caching
+  works unchanged), and a **one-shard cluster fingerprints identically
+  to its plain single-engine config** because the two runs are
+  bit-identical — the regression suite pins both directions.
+* :class:`ShardedExternalScheduler` — the global-MPL view over the
+  per-shard schedulers: a static split (weighted or even), plus
+  dynamic per-shard control (:meth:`ClusteredSystem.tune_shards` runs
+  one §4.3 feedback controller per shard).
+* :class:`ClusteredSystem` — the runnable topology; shares the
+  measurement loop with :class:`~repro.core.system.SimulatedSystem`
+  via :class:`~repro.core.system.MeasuredSystem`, so ``run`` /
+  ``run_transactions`` / ``result`` behave identically.
+
+Determinism: shard ``i``'s engine draws from
+``RandomStreams(shard_config.seed)`` where shard 0 keeps the base seed
+and later shards derive theirs via
+:func:`~repro.sim.random.derive_seed`; the cluster-wide arrival source
+draws from shard 0's seed, exactly as the single-engine system does.
+Routing policies are RNG-free.  A clustered run is therefore
+bit-identical under any ``--jobs N``, and a one-shard cluster is
+bit-identical to the plain engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.arrivals import ArrivalProcess, ArrivalSpec
+from repro.core.controller import Baseline, ControllerReport, MplController, Thresholds
+from repro.core.frontend import ExternalScheduler
+from repro.core.system import (
+    MeasuredSystem,
+    RunResult,
+    SimulatedSystem,
+    SystemConfig,
+    advance_until,
+    build_engine_stack,
+    canonical_jsonable,
+    content_digest,
+)
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.transaction import Transaction
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams, derive_seed
+from repro.sim.station import ROUTING_POLICIES, RouterStation, make_routing
+
+
+def split_mpl(
+    total: Optional[int],
+    shards: int,
+    weights: Optional[Sequence[float]] = None,
+) -> List[Optional[int]]:
+    """Split a global MPL into per-shard limits.
+
+    ``None`` (no limit) stays ``None`` everywhere.  With weights the
+    split is proportional (largest-remainder rounding); without, it is
+    even, with the remainder going to the lowest shard indices.  Every
+    shard always receives at least 1 — a zero-MPL shard would strand
+    any transaction routed to it.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards!r}")
+    if total is None:
+        return [None] * shards
+    if total < shards:
+        raise ValueError(
+            f"global MPL {total} cannot cover {shards} shards (need >= 1 each)"
+        )
+    if weights is None:
+        weights = [1.0] * shards
+    if len(weights) != shards:
+        raise ValueError(f"need {shards} weights, got {len(weights)}")
+    if any(w <= 0 for w in weights):
+        raise ValueError(f"weights must be positive, got {tuple(weights)!r}")
+    scale = total / sum(weights)
+    shares = [w * scale for w in weights]
+    floors = [max(1, int(s)) for s in shares]
+    remainder = total - sum(floors)
+    if remainder < 0:
+        # the max(1, ...) floor over-allocated: take back from the largest
+        order = sorted(range(shards), key=lambda i: (-floors[i], i))
+        for index in order:
+            while remainder < 0 and floors[index] > 1:
+                floors[index] -= 1
+                remainder += 1
+    else:
+        # largest fractional remainder first, lowest index breaking ties
+        order = sorted(range(shards), key=lambda i: (floors[i] - shares[i], i))
+        for index in order[:remainder]:
+            floors[index] += 1
+    return floors  # type: ignore[return-value]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to build one sharded cluster.
+
+    ``shards`` holds one full :class:`SystemConfig` per shard (each
+    carries its own per-shard MPL and seed).  The cluster-wide arrival
+    stream, priority mix, and external-queue policy are taken from
+    shard 0's config — the usual way to build one is
+    :meth:`scale_out`, which derives all shards from a single base
+    config.
+    """
+
+    shards: Tuple[SystemConfig, ...]
+    routing: str = "round_robin"
+    routing_weights: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("a cluster needs at least one shard")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.routing!r}; "
+                f"available: {', '.join(ROUTING_POLICIES)}"
+            )
+        if self.routing_weights is not None:
+            if len(self.routing_weights) != len(self.shards):
+                raise ValueError(
+                    f"need {len(self.shards)} routing weights, "
+                    f"got {len(self.routing_weights)}"
+                )
+            if any(w <= 0 for w in self.routing_weights):
+                raise ValueError(
+                    f"routing weights must be positive, got {self.routing_weights!r}"
+                )
+
+    @classmethod
+    def scale_out(
+        cls,
+        base: SystemConfig,
+        shards: int,
+        routing: str = "round_robin",
+        routing_weights: Optional[Sequence[float]] = None,
+    ) -> "ClusterConfig":
+        """N identical shards from one base config.
+
+        ``base.mpl`` is treated as the *global* MPL and split across
+        the shards (proportionally to ``routing_weights`` when given).
+        Shard 0 keeps the base seed — which is what makes
+        ``scale_out(base, 1)`` bit-identical to the plain engine —
+        and shard ``i > 0`` derives its seed from
+        ``(base.seed, "shard", i)``.
+        """
+        mpls = split_mpl(base.mpl, shards, routing_weights)
+        configs = tuple(
+            dataclasses.replace(
+                base,
+                mpl=mpls[index],
+                seed=base.seed if index == 0 else derive_seed(base.seed, "shard", index),
+            )
+            for index in range(shards)
+        )
+        weights = tuple(float(w) for w in routing_weights) if routing_weights else None
+        return cls(shards=configs, routing=routing, routing_weights=weights)
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def global_mpl(self) -> Optional[int]:
+        """Sum of the per-shard MPLs (None if any shard is unlimited)."""
+        total = 0
+        for shard in self.shards:
+            if shard.mpl is None:
+                return None
+            total += shard.mpl
+        return total
+
+    def arrival_spec(self) -> ArrivalSpec:
+        """The cluster-wide arrival regime (shard 0's, normalized)."""
+        return self.shards[0].arrival_spec()
+
+    # -- fingerprinting ------------------------------------------------------
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Canonical JSON-encodable view (see :func:`canonical_jsonable`)."""
+        return canonical_jsonable(self)
+
+    def fingerprint(self, **extra: Any) -> str:
+        """Content hash of this cluster (plus run parameters).
+
+        A one-shard cluster hashes to **exactly** its shard's
+        single-engine fingerprint: the two runs are bit-identical, so
+        sharing cache entries between the two representations is sound
+        (and pinned by the regression suite).
+        """
+        if len(self.shards) == 1:
+            return self.shards[0].fingerprint(**extra)
+        return content_digest(self.to_jsonable(), extra)
+
+
+class ShardedExternalScheduler:
+    """The global-MPL view over a cluster's per-shard schedulers.
+
+    Static mode: :meth:`set_global_mpl` splits one limit across the
+    shards (respecting the split weights).  Dynamic mode: each shard's
+    scheduler remains individually addressable (``shards[i]`` /
+    :meth:`set_shard_mpl`), which is what the per-shard feedback
+    controllers drive.
+    """
+
+    def __init__(
+        self,
+        frontends: Sequence[ExternalScheduler],
+        weights: Optional[Sequence[float]] = None,
+    ):
+        if not frontends:
+            raise ValueError("need at least one shard scheduler")
+        self.frontends = list(frontends)
+        self.weights = list(weights) if weights is not None else None
+
+    def __len__(self) -> int:
+        return len(self.frontends)
+
+    def __getitem__(self, index: int) -> ExternalScheduler:
+        return self.frontends[index]
+
+    @property
+    def global_mpl(self) -> Optional[int]:
+        """Sum of per-shard MPLs (None if any shard is unlimited)."""
+        total = 0
+        for frontend in self.frontends:
+            if frontend.mpl is None:
+                return None
+            total += frontend.mpl
+        return total
+
+    def set_global_mpl(self, mpl: Optional[int]) -> List[Optional[int]]:
+        """Re-split a global MPL across the shards; returns the split."""
+        mpls = split_mpl(mpl, len(self.frontends), self.weights)
+        for frontend, shard_mpl in zip(self.frontends, mpls):
+            frontend.set_mpl(shard_mpl)
+        return mpls
+
+    def set_shard_mpl(self, index: int, mpl: Optional[int]) -> None:
+        """Set one shard's MPL (the per-shard controller hook)."""
+        self.frontends[index].set_mpl(mpl)
+
+    # aggregate counters, summed over shards
+
+    @property
+    def in_service(self) -> int:
+        return sum(f.in_service for f in self.frontends)
+
+    @property
+    def queue_length(self) -> int:
+        return sum(f.queue_length for f in self.frontends)
+
+    @property
+    def dispatched(self) -> int:
+        return sum(f.dispatched for f in self.frontends)
+
+    @property
+    def completed(self) -> int:
+        return sum(f.completed for f in self.frontends)
+
+
+class _ShardCollector(MetricsCollector):
+    """A shard-local collector that tees into the cluster-wide one.
+
+    The cluster collector therefore sees every completion in global
+    completion order — with one shard, the exact stream the plain
+    engine produces — while each shard keeps its own records for
+    per-shard invariants and controllers.
+    """
+
+    def __init__(self, cluster_collector: MetricsCollector):
+        super().__init__()
+        self._cluster = cluster_collector
+
+    def on_arrival(self, tx: Transaction) -> None:
+        super().on_arrival(tx)
+        self._cluster.on_arrival(tx)
+
+    def on_completion(self, tx: Transaction) -> None:
+        super().on_completion(tx)
+        self._cluster.on_completion(tx)
+
+
+@dataclasses.dataclass
+class _Shard:
+    """One shard's live pieces."""
+
+    config: SystemConfig
+    engine: DatabaseEngine
+    frontend: ExternalScheduler
+    collector: _ShardCollector
+
+
+class _ShardView:
+    """A single shard seen through the :class:`MeasuredSystem` surface.
+
+    Exposes exactly what :class:`~repro.core.controller.MplController`
+    touches — ``frontend``, ``collector``, ``run_transactions`` — so
+    the paper's controller can tune one shard of a live cluster.
+    Advancing a shard view steps the *global* simulation (all shards
+    keep serving their own traffic) but counts only this shard's
+    completions toward the window.
+    """
+
+    def __init__(self, system: "ClusteredSystem", index: int):
+        self._system = system
+        self.index = index
+        shard = system.shards[index]
+        self.frontend = shard.frontend
+        self.collector = shard.collector
+
+    def run_transactions(self, count: int):
+        """Advance the cluster until this shard completes ``count`` more."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count!r}")
+        self._system.source.start()
+        records = self.collector.records
+        start_index = len(records)
+        advance_until(
+            self._system.sim, records, start_index + count,
+            what=f"shard {self.index}'s completion target",
+        )
+        return records[start_index:start_index + count]
+
+
+class ClusteredSystem(MeasuredSystem):
+    """N engines behind one router: the runnable cluster topology.
+
+    One :class:`~repro.sim.engine.Simulator` hosts every shard; the
+    cluster-wide arrival source submits to a
+    :class:`~repro.sim.station.RouterStation` which dispatches each
+    transaction to a shard's :class:`ExternalScheduler` by the
+    configured routing policy.  The measurement loop (``run``,
+    ``run_transactions``, ``result``) is inherited unchanged from
+    :class:`MeasuredSystem`.
+    """
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.collector = MetricsCollector()
+        self.shards: List[_Shard] = []
+        base_streams: Optional[RandomStreams] = None
+        for shard_config in config.shards:
+            collector = _ShardCollector(self.collector)
+            streams, engine, frontend = build_engine_stack(
+                self.sim, shard_config, collector
+            )
+            if base_streams is None:
+                base_streams = streams
+            self.shards.append(_Shard(shard_config, engine, frontend, collector))
+        frontends = [shard.frontend for shard in self.shards]
+        self.scheduler = ShardedExternalScheduler(
+            frontends, weights=config.routing_weights
+        )
+        self.router = RouterStation(
+            self.sim,
+            frontends,
+            make_routing(config.routing, len(frontends), config.routing_weights),
+        )
+        base = config.shards[0]
+        # the cluster-wide source shares shard 0's stream factory, just
+        # as the single-engine system shares one factory between its
+        # engine and source
+        self.source: ArrivalProcess = config.arrival_spec().build(
+            self.sim,
+            self.router,
+            base.workload,
+            base_streams,
+            priority_assigner=base.priority_assigner(),
+        )
+
+    # -- topology hooks ------------------------------------------------------
+
+    def _result_mpl(self) -> Optional[int]:
+        return self.scheduler.global_mpl
+
+    def _utilization_snapshot(self, elapsed: float) -> Dict[str, float]:
+        if len(self.shards) == 1:
+            return self.shards[0].engine.utilization_snapshot(elapsed)
+        snapshot: Dict[str, float] = {}
+        for index, shard in enumerate(self.shards):
+            for name, value in shard.engine.utilization_snapshot(elapsed).items():
+                snapshot[f"shard{index}/{name}"] = value
+        return snapshot
+
+    # -- per-shard access ----------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_view(self, index: int) -> _ShardView:
+        """One shard through the measured-system surface (controllers)."""
+        return _ShardView(self, index)
+
+    def class_stats_snapshot(self) -> Dict[str, Dict[int, Dict[str, float]]]:
+        """Per-station, per-class counters, shard-prefixed, router included."""
+        snapshot: Dict[str, Dict[int, Dict[str, float]]] = {
+            "router": {
+                priority: stats.as_dict()
+                for priority, stats in self.router.class_stats().items()
+            }
+        }
+        for index, shard in enumerate(self.shards):
+            for name, per_class in shard.engine.class_stats_snapshot().items():
+                snapshot[f"shard{index}/{name}"] = per_class
+        return snapshot
+
+    def aggregate_class_requests(self, station: str) -> Dict[int, int]:
+        """Per-class request totals for one station name across shards."""
+        totals: Dict[int, int] = {}
+        for shard in self.shards:
+            resolved = shard.engine.stations.get(station)
+            if resolved is None:
+                continue
+            for priority, stats in resolved.class_stats().items():
+                totals[priority] = totals.get(priority, 0) + stats.requests
+        return totals
+
+    # -- per-shard MPL control ----------------------------------------------
+
+    def tune_shards(
+        self,
+        baseline: Baseline,
+        thresholds: Optional[Thresholds] = None,
+        initial_mpl: int = 2,
+        window: int = 100,
+        **controller_kwargs: Any,
+    ) -> List[ControllerReport]:
+        """Run one §4.3 feedback controller per shard (dynamic split).
+
+        ``baseline`` is the *cluster-wide* no-MPL reference; each shard
+        is held to its fair share (cluster throughput divided by the
+        shard count, the cluster's mean response time).  Shards are
+        tuned in index order against the live cluster — while one
+        shard's controller observes, every other shard keeps serving
+        its own traffic under its current MPL.
+        """
+        thresholds = thresholds or Thresholds()
+        share = Baseline(
+            throughput=baseline.throughput / len(self.shards),
+            mean_response_time=baseline.mean_response_time,
+        )
+        reports = []
+        for index in range(len(self.shards)):
+            controller = MplController(
+                self.shard_view(index),  # type: ignore[arg-type]
+                share,
+                thresholds,
+                initial_mpl=initial_mpl,
+                window=window,
+                **controller_kwargs,
+            )
+            reports.append(controller.tune())
+        return reports
+
+
+AnyConfig = Union[SystemConfig, ClusterConfig]
+
+
+def build_system(config: AnyConfig) -> MeasuredSystem:
+    """The runnable system for a config of either topology."""
+    if isinstance(config, ClusterConfig):
+        if len(config.shards) == 1:
+            # bit-identical to the plain engine, and cheaper to build
+            return SimulatedSystem(config.shards[0])
+        return ClusteredSystem(config)
+    return SimulatedSystem(config)
+
+
+def run_cluster(config: ClusterConfig, transactions: int = 2000) -> RunResult:
+    """Convenience: build a cluster from ``config`` and run it once."""
+    return ClusteredSystem(config).run(transactions=transactions)

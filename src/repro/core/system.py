@@ -84,6 +84,18 @@ def canonical_jsonable(value: Any) -> Any:
     raise TypeError(f"cannot canonically encode {type(value).__name__}: {value!r}")
 
 
+def content_digest(config_payload: Any, extra: Dict[str, Any]) -> str:
+    """The canonical sha256 over a config payload + run parameters.
+
+    The single hashing recipe behind every content-addressed cache key
+    (:meth:`SystemConfig.fingerprint`,
+    :meth:`~repro.core.cluster.ClusterConfig.fingerprint`).
+    """
+    payload = {"config": config_payload, "extra": canonical_jsonable(extra)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 @dataclasses.dataclass(frozen=True)
 class SystemConfig:
     """Everything needed to build one simulated system.
@@ -134,6 +146,12 @@ class SystemConfig:
             num_clients=self.num_clients, think_time_s=self.think_time_s
         )
 
+    def priority_assigner(self):
+        """The per-transaction priority assigner (None = all LOW)."""
+        if self.high_priority_fraction > 0:
+            return fraction_high_assigner(self.high_priority_fraction)
+        return None
+
     def to_jsonable(self) -> Dict[str, Any]:
         """Canonical JSON-encodable view (see :func:`canonical_jsonable`)."""
         return canonical_jsonable(self)
@@ -144,9 +162,7 @@ class SystemConfig:
         Two configs share a fingerprint iff they describe the same
         simulation — the cache key of the parallel experiment runner.
         """
-        payload = {"config": self.to_jsonable(), "extra": canonical_jsonable(extra)}
-        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode()).hexdigest()
+        return content_digest(self.to_jsonable(), extra)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -211,41 +227,73 @@ class RunResult:
         return cls(**{k: v for k, v in data.items() if k in known})
 
 
-class SimulatedSystem:
-    """A fully wired simulation: source → external queue → DBMS."""
+def build_engine_stack(
+    sim: Simulator, config: SystemConfig, collector: MetricsCollector
+) -> "tuple[RandomStreams, DatabaseEngine, ExternalScheduler]":
+    """Wire one engine + MPL front-end from ``config``.
 
-    def __init__(self, config: SystemConfig):
-        self.config = config
-        self.sim = Simulator()
-        self.streams = RandomStreams(config.seed)
-        self.collector = MetricsCollector()
-        self.engine = DatabaseEngine(
-            self.sim,
-            config.hardware,
-            db_pages=config.workload.db_pages,
-            streams=self.streams,
-            isolation=config.isolation,
-            internal=config.internal,
-            hot_access_fraction=config.workload.hot_access_fraction,
-            hot_page_fraction=config.workload.hot_page_fraction,
-        )
-        self.frontend = ExternalScheduler(
-            self.sim,
-            self.engine,
-            mpl=config.mpl,
-            policy=make_policy(config.policy),
-            collector=self.collector,
-        )
-        assigner = None
-        if config.high_priority_fraction > 0:
-            assigner = fraction_high_assigner(config.high_priority_fraction)
-        self.source: ArrivalProcess = config.arrival_spec().build(
-            self.sim,
-            self.frontend,
-            config.workload,
-            self.streams,
-            priority_assigner=assigner,
-        )
+    The single construction path shared by :class:`SimulatedSystem`
+    and every shard of :class:`~repro.core.cluster.ClusteredSystem` —
+    which is what keeps the 1-shard cluster bit-identical to the plain
+    engine when :class:`SystemConfig` grows new fields.
+    """
+    streams = RandomStreams(config.seed)
+    engine = DatabaseEngine(
+        sim,
+        config.hardware,
+        db_pages=config.workload.db_pages,
+        streams=streams,
+        isolation=config.isolation,
+        internal=config.internal,
+        hot_access_fraction=config.workload.hot_access_fraction,
+        hot_page_fraction=config.workload.hot_page_fraction,
+    )
+    frontend = ExternalScheduler(
+        sim,
+        engine,
+        mpl=config.mpl,
+        policy=make_policy(config.policy),
+        collector=collector,
+    )
+    return streams, engine, frontend
+
+
+def advance_until(
+    sim: Simulator, records: List[TransactionRecord], target: int,
+    what: str = "the completion target",
+) -> None:
+    """Step ``sim`` until ``records`` holds ``target`` entries.
+
+    The shared inner loop of every measurement window (system-wide and
+    per-shard); raises :class:`SimulationError` if the agenda drains
+    first, so callers can treat a drained simulation uniformly.
+    """
+    step = sim.step
+    agenda = sim._agenda
+    while len(records) < target:
+        if not agenda:
+            raise SimulationError(
+                f"simulation drained before reaching {what}"
+            )
+        step()
+
+
+class MeasuredSystem:
+    """The measurement loop shared by every runnable system topology.
+
+    Subclasses (:class:`SimulatedSystem`, the sharded
+    :class:`~repro.core.cluster.ClusteredSystem`) wire their own
+    sources and engines but expose the same surface: ``sim`` (the
+    kernel), ``collector`` (the system-wide completion stream, in
+    completion order), ``source`` (the arrival process), plus the two
+    topology hooks ``_result_mpl`` and ``_utilization_snapshot``.
+    Everything the experiments call — ``run_transactions`` /
+    ``run`` / ``result`` — lives here once.
+    """
+
+    sim: Simulator
+    collector: MetricsCollector
+    source: ArrivalProcess
 
     # -- measurement loop ----------------------------------------------------
 
@@ -262,14 +310,7 @@ class SimulatedSystem:
         records = self.collector.records  # appended-to in place, identity stable
         start_index = len(records)
         target = start_index + count
-        step = self.sim.step
-        agenda = self.sim._agenda
-        while len(records) < target:
-            if not agenda:
-                raise SimulationError(
-                    "simulation drained before reaching the completion target"
-                )
-            step()
+        advance_until(self.sim, records, target)
         return records[start_index:target]
 
     def run(self, transactions: int = 2000, warmup_fraction: float = 0.2) -> RunResult:
@@ -290,7 +331,7 @@ class SimulatedSystem:
             by_class.setdefault(record.priority, []).append(record.response_time)
         elapsed = self.sim.now if self.sim.now > 0 else 1.0
         return RunResult(
-            mpl=self.frontend.mpl,
+            mpl=self._result_mpl(),
             completed=len(records),
             sim_time=self.sim.now,
             throughput=self.collector.throughput(warmup),
@@ -300,11 +341,48 @@ class SimulatedSystem:
             },
             count_by_class={prio: len(times) for prio, times in by_class.items()},
             response_time_scv=self.collector.response_time_scv(warmup),
-            utilizations=self.engine.utilization_snapshot(elapsed),
+            utilizations=self._utilization_snapshot(elapsed),
             restart_rate=self.collector.restart_rate(warmup),
             mean_external_wait=stats.mean([r.external_wait for r in records]),
             mean_lock_wait=stats.mean([r.lock_wait_time for r in records]),
         )
+
+    # -- topology hooks ------------------------------------------------------
+
+    def _result_mpl(self) -> Optional[int]:
+        """The MPL reported in results (a cluster reports its global MPL)."""
+        raise NotImplementedError
+
+    def _utilization_snapshot(self, elapsed: float) -> Dict[str, float]:
+        """Per-station utilizations over ``elapsed`` seconds."""
+        raise NotImplementedError
+
+
+class SimulatedSystem(MeasuredSystem):
+    """A fully wired simulation: source → external queue → DBMS."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.collector = MetricsCollector()
+        self.streams, self.engine, self.frontend = build_engine_stack(
+            self.sim, config, self.collector
+        )
+        self.source: ArrivalProcess = config.arrival_spec().build(
+            self.sim,
+            self.frontend,
+            config.workload,
+            self.streams,
+            priority_assigner=config.priority_assigner(),
+        )
+
+    # -- topology hooks ------------------------------------------------------
+
+    def _result_mpl(self) -> Optional[int]:
+        return self.frontend.mpl
+
+    def _utilization_snapshot(self, elapsed: float) -> Dict[str, float]:
+        return self.engine.utilization_snapshot(elapsed)
 
 
 def run_system(config: SystemConfig, transactions: int = 2000) -> RunResult:

@@ -46,6 +46,7 @@ _FIGURES: Dict[str, Callable] = {
     "s4.3": figures.controller_convergence,
     "po": figures.partly_open,
     "tv": figures.time_varying_controller,
+    "sh": figures.sharded_cluster,
 }
 
 _TABLES: Dict[str, Callable[[], str]] = {

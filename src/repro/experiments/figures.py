@@ -26,6 +26,7 @@ from repro.priority.evaluation import (
 )
 from repro.queueing.mpl_ps_queue import MplPsQueue
 from repro.queueing.throughput_model import ThroughputModel, balanced_min_mpl
+from repro.sim.station import ROUTING_POLICIES
 from repro.workloads.setups import SETUPS, get_setup
 
 
@@ -711,6 +712,183 @@ def time_varying_controller(
     )
 
 
+# -- sharded-cluster figure: N engines behind a router ------------------------
+
+#: Shard counts swept by the cluster figure.
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Per-shard MPL values swept (the global MPL is this times the shard
+#: count, so every cluster size sees the same per-shard operating
+#: points).
+SHARD_MPLS = (1, 2, 4, 8, 16)
+SHARD_MPLS_FAST = (2, 8)
+
+#: Offered load per shard, tx/s — ≈ 70% of setup 1's closed capacity,
+#: so the sweep is *weak scaling*: the cluster always runs at the same
+#: per-shard load, and total throughput should grow linearly with the
+#: shard count under any sane routing policy.
+SHARD_RATE_PER_SHARD = 45.0
+
+#: Session mix / think time of the partly-open regime (matches `po`).
+SHARD_SESSION_MIX = 4.0
+SHARD_THINK_S = 0.1
+
+#: Shard count at which the routing policies are compared head-to-head.
+SHARD_POLICY_COUNT = 4
+
+
+def _sharded_spec(
+    shards: int,
+    routing: str,
+    per_shard_mpl: int,
+    transactions: int,
+    arrival,
+    seed: int = DEFAULT_SEED,
+) -> RunSpec:
+    return RunSpec(
+        setup_id=1,
+        mpl=per_shard_mpl * shards,
+        transactions=transactions,
+        seed=seed,
+        arrival=arrival,
+        shards=shards,
+        routing=routing,
+        tag=f"sh-{shards}x-{routing}",
+    )
+
+
+def _sharded_arrival(regime: str, shards: int):
+    """The cluster-wide arrival spec for one (regime, shard count) cell."""
+    rate = SHARD_RATE_PER_SHARD * shards
+    if regime == "po":
+        return PartlyOpenArrivals.for_load(
+            rate, SHARD_SESSION_MIX, think_time_s=SHARD_THINK_S
+        )
+    if regime == "tv":
+        return ModulatedArrivals(
+            SinusoidRate(base=rate, amplitude=0.35 * rate, period=20.0)
+        )
+    raise ValueError(f"unknown arrival regime {regime!r}")
+
+
+def sharded_grid(
+    fast: bool = True,
+    mpls: Optional[Sequence[int]] = None,
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    policies: Sequence[str] = ROUTING_POLICIES,
+) -> List[RunSpec]:
+    """The run grid behind the cluster figure, as data.
+
+    Three blocks, in order: (a) the shard-count sweep under partly-open
+    arrivals at the reference routing policy, (b) the routing-policy
+    comparison at :data:`SHARD_POLICY_COUNT` shards under partly-open
+    arrivals, (c) the same comparison under the time-varying
+    (sinusoidal) regime.  ``mpls`` are *per-shard* MPL values.
+    """
+    if mpls is None:
+        mpls = SHARD_MPLS_FAST if fast else SHARD_MPLS
+    transactions = 250 if fast else 1200
+    specs = [
+        _sharded_spec(shards, "least_in_flight", mpl, transactions,
+                      _sharded_arrival("po", shards))
+        for shards in shard_counts
+        for mpl in mpls
+    ]
+    for regime in ("po", "tv"):
+        specs.extend(
+            _sharded_spec(SHARD_POLICY_COUNT, policy, mpl, transactions,
+                          _sharded_arrival(regime, SHARD_POLICY_COUNT))
+            for policy in policies
+            for mpl in mpls
+        )
+    return specs
+
+
+def sharded_cluster(
+    fast: bool = True,
+    mpls: Optional[Sequence[int]] = None,
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    policies: Sequence[str] = ROUTING_POLICIES,
+) -> List[FigureResult]:
+    """Cluster scaling: throughput / response time vs MPL by shard count.
+
+    Weak-scaling sweep of the sharded topology: every cluster size
+    offers :data:`SHARD_RATE_PER_SHARD` tx/s *per shard*, so linear
+    total throughput is the pass criterion, and the per-shard MPL axis
+    makes the response-time curves directly comparable across cluster
+    sizes.  Two routing-policy panels compare all four policies at the
+    same per-shard operating points under the partly-open (`po`) and
+    time-varying (`tv`) regimes.
+    """
+    if mpls is None:
+        mpls = SHARD_MPLS_FAST if fast else SHARD_MPLS
+    runs = iter(run_grid(sharded_grid(fast, mpls, shard_counts, policies)))
+    throughput_by_shards: List[Series] = []
+    response_by_shards: List[Series] = []
+    for shards in shard_counts:
+        results = [next(runs) for _ in mpls]
+        label = f"{shards} shard{'s' if shards > 1 else ''}"
+        throughput_by_shards.append(
+            Series(label=label, ys=tuple(r.throughput for r in results))
+        )
+        response_by_shards.append(
+            Series(label=label, ys=tuple(r.mean_response_time for r in results))
+        )
+    policy_panels: List[FigureResult] = []
+    for regime, title in (
+        ("po", "partly-open sessions"),
+        ("tv", "time-varying (sinusoidal) load"),
+    ):
+        series = []
+        for policy in policies:
+            results = [next(runs) for _ in mpls]
+            series.append(
+                Series(
+                    label=policy,
+                    ys=tuple(r.mean_response_time for r in results),
+                )
+            )
+        policy_panels.append(
+            FigureResult(
+                figure=f"SH-{regime}",
+                title=(
+                    f"Routing policies at {SHARD_POLICY_COUNT} shards: "
+                    f"mean response time vs per-shard MPL, {title}"
+                ),
+                xlabel="per-shard MPL",
+                xs=tuple(float(m) for m in mpls),
+                series=tuple(series),
+                notes=(
+                    f"offered load {SHARD_RATE_PER_SHARD:g} tx/s per shard "
+                    f"({regime} regime), global MPL = per-shard MPL x shards",
+                ),
+            )
+        )
+    scale_note = (
+        f"weak scaling: {SHARD_RATE_PER_SHARD:g} tx/s offered per shard "
+        f"(routing: least_in_flight), global MPL = per-shard MPL x shards"
+    )
+    return [
+        FigureResult(
+            figure="SH-a",
+            title="Cluster throughput vs per-shard MPL by shard count",
+            xlabel="per-shard MPL",
+            xs=tuple(float(m) for m in mpls),
+            series=tuple(throughput_by_shards),
+            notes=(scale_note,),
+        ),
+        FigureResult(
+            figure="SH-b",
+            title="Cluster mean response time vs per-shard MPL by shard count",
+            xlabel="per-shard MPL",
+            xs=tuple(float(m) for m in mpls),
+            series=tuple(response_by_shards),
+            notes=(scale_note,),
+        ),
+        *policy_panels,
+    ]
+
+
 # -- declarative grids (for `repro.experiments bench` and CI) ----------------
 
 
@@ -739,10 +917,15 @@ class GridDef:
     panels: Tuple[GridPanel, ...]
     #: MPL override for fast runs (only the smoke grid shrinks its axis).
     fast_mpls: Optional[Tuple[int, ...]] = None
+    #: Custom grid builder for figures whose sweep is not a plain
+    #: (setup, MPL) product — the sharded-cluster grid plugs in here.
+    builder: Optional[Callable[..., List[RunSpec]]] = None
 
     def build(
         self, fast: bool = True, mpls: Optional[Sequence[int]] = None
     ) -> List[RunSpec]:
+        if self.builder is not None:
+            return self.builder(fast, mpls)
         if mpls is None:
             mpls = self.fast_mpls if (fast and self.fast_mpls) else self.mpls
         specs: List[RunSpec] = []
@@ -774,6 +957,12 @@ GRID_DEFS: Dict[str, GridDef] = {
         mpls=(1, 2, 4, 8, 16, 30),
         panels=(GridPanel((1,), 150, 600),),
         fast_mpls=(1, 2, 4, 8),
+    ),
+    "sh": GridDef(
+        mpls=SHARD_MPLS,
+        panels=(),
+        fast_mpls=SHARD_MPLS_FAST,
+        builder=sharded_grid,
     ),
 }
 

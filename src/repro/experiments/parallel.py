@@ -31,9 +31,9 @@ import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.arrivals import ArrivalSpec
+from repro.core.cluster import AnyConfig, ClusterConfig, build_system
 from repro.core.system import (
     RunResult,
-    SimulatedSystem,
     SystemConfig,
     canonical_jsonable,
 )
@@ -68,13 +68,20 @@ class RunSpec:
     #: keeps the legacy num_clients / arrival_rate behaviour — and the
     #: legacy fingerprints.
     arrival: Optional[ArrivalSpec] = None
+    #: Cluster topology: with ``shards > 1`` the run scales the setup
+    #: out to N engines behind a router (``mpl`` becomes the global
+    #: MPL, split across shards).  ``shards=1`` is the plain engine —
+    #: and, being the field defaults, keeps every legacy fingerprint.
+    shards: int = 1
+    routing: str = "round_robin"
+    routing_weights: Optional[Tuple[float, ...]] = None
     #: Free-form label carried into bench artifacts (never hashed).
     tag: str = ""
 
-    def config(self) -> SystemConfig:
-        """The full :class:`SystemConfig` this spec describes."""
+    def config(self) -> AnyConfig:
+        """The full config this spec describes (system or cluster)."""
         setup = get_setup(self.setup_id)
-        return SystemConfig(
+        base = SystemConfig(
             workload=setup.workload,
             hardware=setup.hardware,
             isolation=setup.isolation,
@@ -85,6 +92,12 @@ class RunSpec:
             arrival_rate=self.arrival_rate,
             seed=self.seed,
             arrival=self.arrival,
+        )
+        if self.shards == 1:
+            return base
+        return ClusterConfig.scale_out(
+            base, self.shards, routing=self.routing,
+            routing_weights=self.routing_weights,
         )
 
     def fingerprint(self) -> str:
@@ -97,7 +110,7 @@ class RunSpec:
 
 def execute_spec(spec: RunSpec) -> RunResult:
     """Run one spec to completion (also the process-pool worker)."""
-    system = SimulatedSystem(spec.config())
+    system = build_system(spec.config())
     return system.run(
         transactions=spec.transactions, warmup_fraction=spec.warmup_fraction
     )
@@ -144,6 +157,9 @@ class ResultCache:
                 "high_priority_fraction": spec.high_priority_fraction,
                 "arrival_rate": spec.arrival_rate,
                 "arrival": canonical_jsonable(spec.arrival),
+                "shards": spec.shards,
+                "routing": spec.routing,
+                "routing_weights": canonical_jsonable(spec.routing_weights),
                 "tag": spec.tag,
             },
             "result": result.to_json_dict(),

@@ -57,6 +57,9 @@ def spec_for(
     high_priority_fraction: float = 0.0,
     arrival_rate: Optional[float] = None,
     arrival: Optional[ArrivalSpec] = None,
+    shards: int = 1,
+    routing: str = "round_robin",
+    routing_weights: Optional[Tuple[float, ...]] = None,
     tag: str = "",
 ) -> RunSpec:
     """The :class:`RunSpec` equivalent of a :func:`run_setup` call."""
@@ -70,6 +73,9 @@ def spec_for(
         high_priority_fraction=high_priority_fraction,
         arrival_rate=arrival_rate,
         arrival=arrival,
+        shards=shards,
+        routing=routing,
+        routing_weights=routing_weights,
         tag=tag,
     )
 

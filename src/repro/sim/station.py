@@ -27,7 +27,7 @@ the pipeline without touching any other layer.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.sim.distributions import Distribution
 from repro.sim.engine import Event, Simulator
@@ -162,3 +162,198 @@ class DelayStation(Station):
     @property
     def busy_time(self) -> float:
         return self._busy_time
+
+
+# -- routing (cluster front-end) ----------------------------------------------
+
+
+class RoutingPolicy:
+    """Picks the shard one transaction is dispatched to.
+
+    Policies are deterministic functions of their own internal state
+    and the live shard loads — no randomness, so clustered runs stay
+    bit-identical under any ``--jobs N``.  ``choose`` receives the
+    transaction and the router's target list and returns a shard index.
+    """
+
+    name = "routing"
+
+    def choose(self, tx, targets: Sequence) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Cycle through the shards in order."""
+
+    name = "round_robin"
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+        self._next = 0
+        self._n = num_shards
+
+    def choose(self, tx, targets: Sequence) -> int:
+        index = self._next
+        self._next = (index + 1) % self._n
+        return index
+
+
+class HashRouting(RoutingPolicy):
+    """Hash-partition: a transaction's id pins it to one shard.
+
+    Models key-partitioned data where a transaction must run on the
+    shard holding its partition.  The hash is a fixed 64-bit mix (not
+    Python's salted ``hash``), so placement is stable across processes
+    and runs.
+    """
+
+    name = "hash"
+
+    def choose(self, tx, targets: Sequence) -> int:
+        return self.mix(tx.tid) % len(targets)
+
+    @staticmethod
+    def mix(key: int) -> int:
+        """SplitMix64 finalizer: a well-dispersed 64-bit integer hash."""
+        z = (key + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return z ^ (z >> 31)
+
+
+class LeastInFlightRouting(RoutingPolicy):
+    """Join the shard with the fewest transactions admitted or queued.
+
+    Ties break toward the lowest shard index, which keeps the decision
+    deterministic.
+    """
+
+    name = "least_in_flight"
+
+    def choose(self, tx, targets: Sequence) -> int:
+        best = 0
+        best_load = None
+        for index, target in enumerate(targets):
+            load = target.in_service + target.queue_length
+            if best_load is None or load < best_load:
+                best, best_load = index, load
+        return best
+
+
+class WeightedRouting(RoutingPolicy):
+    """Smooth weighted round-robin over heterogeneous shards.
+
+    The classic nginx algorithm: each pick adds every shard's weight to
+    its running score, dispatches to the highest score, and subtracts
+    the weight total from the winner — giving proportional shares with
+    maximal interleaving, deterministically.
+    """
+
+    name = "weighted"
+
+    def __init__(self, weights: Sequence[float]):
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        if any(w <= 0 for w in weights):
+            raise ValueError(f"weights must be positive, got {tuple(weights)!r}")
+        self.weights = tuple(float(w) for w in weights)
+        self._scores = [0.0] * len(self.weights)
+        self._total = sum(self.weights)
+
+    def choose(self, tx, targets: Sequence) -> int:
+        scores = self._scores
+        for index, weight in enumerate(self.weights):
+            scores[index] += weight
+        best = max(range(len(scores)), key=lambda i: (scores[i], -i))
+        scores[best] -= self._total
+        return best
+
+
+#: Routing-policy registry consumed by cluster configs and the CLI.
+ROUTING_POLICIES = ("round_robin", "hash", "least_in_flight", "weighted")
+
+
+def make_routing(
+    name: str, num_shards: int, weights: Optional[Sequence[float]] = None
+) -> RoutingPolicy:
+    """Build the named routing policy for ``num_shards`` shards."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+    if name == "round_robin":
+        return RoundRobinRouting(num_shards)
+    if name == "hash":
+        return HashRouting()
+    if name == "least_in_flight":
+        return LeastInFlightRouting()
+    if name == "weighted":
+        if weights is None:
+            weights = [1.0] * num_shards
+        if len(weights) != num_shards:
+            raise ValueError(
+                f"need {num_shards} weights, got {len(weights)}: {tuple(weights)!r}"
+            )
+        return WeightedRouting(weights)
+    raise ValueError(
+        f"unknown routing policy {name!r}; available: {', '.join(ROUTING_POLICIES)}"
+    )
+
+
+class RouterStation(Station):
+    """The cluster front-end: dispatches transactions to shard targets.
+
+    Targets speak the :class:`~repro.core.frontend.ExternalScheduler`
+    surface (``submit``, ``in_service``, ``queue_length``) but are only
+    duck-typed here, keeping the simulation layer free of core-layer
+    imports.  Routing is synchronous — ``submit`` forwards to the
+    chosen shard immediately and returns that shard's completion event
+    — so a one-shard router is event-for-event identical to calling
+    the shard directly.
+
+    The router enforces the no-double-routing invariant (a transaction
+    id is accepted at most once) and accumulates per-shard dispatch
+    counts plus per-priority-class :class:`ClassStats`, which the
+    invariant test-suite checks against the shard-side counters.
+    """
+
+    is_server = False
+
+    def __init__(self, sim: Simulator, targets: Sequence, policy: RoutingPolicy,
+                 name: str = "router"):
+        if not targets:
+            raise ValueError("router needs at least one target shard")
+        super().__init__(sim, name)
+        self.targets = list(targets)
+        self.policy = policy
+        self.routed_by_shard: List[int] = [0] * len(self.targets)
+        self._routed_tids: set = set()
+
+    def submit(self, tx) -> Event:
+        """Route ``tx`` to a shard; returns the shard's completion event."""
+        if tx.tid in self._routed_tids:
+            raise ValueError(f"transaction {tx.tid} was already routed")
+        index = self.policy.choose(tx, self.targets)
+        if not 0 <= index < len(self.targets):
+            raise ValueError(
+                f"routing policy {self.policy.name!r} chose shard {index} "
+                f"of {len(self.targets)}"
+            )
+        self._routed_tids.add(tx.tid)
+        self.routed_by_shard[index] += 1
+        self._record(tx.priority)
+        return self.targets[index].submit(tx)
+
+    @property
+    def routed(self) -> int:
+        """Total transactions dispatched across all shards."""
+        return sum(self.routed_by_shard)
+
+    @property
+    def in_service(self) -> int:
+        """Transactions inside any shard's engine."""
+        return sum(t.in_service for t in self.targets)
+
+    @property
+    def queue_length(self) -> int:
+        """Transactions waiting in any shard's external queue."""
+        return sum(t.queue_length for t in self.targets)

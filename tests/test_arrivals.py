@@ -14,16 +14,28 @@ import pytest
 
 from repro.core.arrivals import (
     ClosedArrivals,
+    ClosedPopulation,
     ModulatedArrivals,
     OpenArrivals,
+    OpenPoisson,
     PartlyOpenArrivals,
     PartlyOpenSessions,
     PiecewiseRate,
     SinusoidRate,
+    fraction_high_assigner,
 )
+from repro.core.frontend import ExternalScheduler
 from repro.core.system import SimulatedSystem, SystemConfig
+from repro.dbms.config import HardwareConfig
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.transaction import Priority
 from repro.experiments.parallel import ParallelRunner, RunSpec
+from repro.metrics.collector import MetricsCollector
+from repro.sim.distributions import Deterministic, Exponential
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
 from repro.workloads.setups import get_setup
+from repro.workloads.synthetic import synthetic_workload
 
 
 def _config(arrival=None, **kwargs):
@@ -273,6 +285,106 @@ class TestModulatedThroughput:
         low = sum(1 for r in records if (r.arrival_time % 10.0) < 5.0)
         high = len(records) - low
         assert high > 2 * low
+
+
+def _stack(mpl=None):
+    """A bare front-end + engine to drive sources against directly."""
+    sim = Simulator()
+    streams = RandomStreams(9)
+    engine = DatabaseEngine(
+        sim,
+        HardwareConfig(memory_mb=3072, bufferpool_mb=1024),
+        db_pages=1000,
+        streams=streams,
+    )
+    collector = MetricsCollector()
+    frontend = ExternalScheduler(sim, engine, mpl=mpl, collector=collector)
+    workload = synthetic_workload("s", demand_mean_ms=5.0, scv=1.0)
+    return sim, streams, frontend, collector, workload
+
+
+class TestClosedPopulation:
+    """Behavior of the closed source (formerly tests/test_clients.py)."""
+
+    def test_keeps_n_outstanding(self):
+        sim, streams, frontend, collector, workload = _stack()
+        clients = ClosedPopulation(
+            sim, frontend, workload, num_clients=7, think_time=None,
+            rng=streams.stream("clients"),
+        )
+        clients.start()
+        sim.run(until=0.5)
+        # at any time exactly 7 transactions are in the system (no think)
+        assert frontend.in_service + frontend.queue_length == 7
+        assert collector.arrivals >= 7
+
+    def test_start_idempotent(self):
+        sim, streams, frontend, collector, workload = _stack()
+        clients = ClosedPopulation(
+            sim, frontend, workload, num_clients=3, think_time=None,
+            rng=streams.stream("clients"),
+        )
+        clients.start()
+        clients.start()
+        sim.run(until=0.1)
+        assert frontend.in_service + frontend.queue_length == 3
+
+    def test_think_time_idles_clients(self):
+        sim, streams, frontend, collector, workload = _stack()
+        clients = ClosedPopulation(
+            sim, frontend, workload, num_clients=5,
+            think_time=Deterministic(10.0), rng=streams.stream("clients"),
+        )
+        clients.start()
+        sim.run(until=1.0)
+        # after the first round everyone is thinking
+        assert frontend.in_service == 0
+
+    def test_priority_assigner_applied(self):
+        sim, streams, frontend, collector, workload = _stack()
+        clients = ClosedPopulation(
+            sim, frontend, workload, num_clients=4, think_time=None,
+            rng=streams.stream("clients"),
+            priority_assigner=fraction_high_assigner(1.0),
+        )
+        clients.start()
+        sim.run(until=0.2)
+        assert all(r.priority == Priority.HIGH for r in collector.records)
+
+    def test_validation(self):
+        sim, streams, frontend, _collector, workload = _stack()
+        with pytest.raises(ValueError):
+            ClosedPopulation(
+                sim, frontend, workload, num_clients=0, think_time=None,
+                rng=streams.stream("clients"),
+            )
+        with pytest.raises(ValueError):
+            fraction_high_assigner(1.5)
+
+
+class TestOpenPoissonSource:
+    """Behavior of the open source (formerly tests/test_clients.py)."""
+
+    def test_rate(self):
+        sim, streams, frontend, collector, workload = _stack(mpl=50)
+        source = OpenPoisson(
+            sim, frontend, workload, interarrival=Exponential(0.01),
+            rng=streams.stream("arrivals"),
+        )
+        source.start()
+        sim.run(until=10.0)
+        # ~100/s for 10s
+        assert collector.arrivals == pytest.approx(1000, rel=0.15)
+
+    def test_max_arrivals(self):
+        sim, streams, frontend, collector, workload = _stack()
+        source = OpenPoisson(
+            sim, frontend, workload, interarrival=Deterministic(0.001),
+            rng=streams.stream("arrivals"), max_arrivals=25,
+        )
+        source.start()
+        sim.run()
+        assert collector.arrivals == 25
 
 
 class TestGeometryOfGeometric:

@@ -1,119 +1,50 @@
-"""Tests for the closed/open transaction sources."""
+"""Tests for the ``repro.core.clients`` backwards-compatibility shim.
+
+The behavioral tests of the closed/open sources live with the arrival
+layer itself (``tests/test_arrivals.py``); this file only checks the
+shim's contract: every legacy name resolves to the *same object* the
+arrival layer exports, each access raises a ``DeprecationWarning``
+naming the new home, and unknown attributes fail normally.
+"""
+
+import warnings
 
 import pytest
 
-from repro.core.clients import (
-    ClosedPopulation,
-    OpenSource,
-    fraction_high_assigner,
-)
-from repro.core.frontend import ExternalScheduler
-from repro.dbms.config import HardwareConfig
-from repro.dbms.engine import DatabaseEngine
-from repro.dbms.transaction import Priority
-from repro.metrics.collector import MetricsCollector
-from repro.sim.distributions import Deterministic, Exponential
-from repro.sim.engine import Simulator
-from repro.sim.random import RandomStreams
-from repro.workloads.synthetic import synthetic_workload
+from repro.core import arrivals
+from repro.core import clients
 
 
-def _stack(mpl=None):
-    sim = Simulator()
-    streams = RandomStreams(9)
-    engine = DatabaseEngine(
-        sim,
-        HardwareConfig(memory_mb=3072, bufferpool_mb=1024),
-        db_pages=1000,
-        streams=streams,
-    )
-    collector = MetricsCollector()
-    frontend = ExternalScheduler(sim, engine, mpl=mpl, collector=collector)
-    workload = synthetic_workload("s", demand_mean_ms=5.0, scv=1.0)
-    return sim, streams, frontend, collector, workload
+@pytest.mark.parametrize("name", clients.__all__)
+def test_every_legacy_name_aliases_arrivals(name):
+    with pytest.warns(DeprecationWarning, match="repro.core.arrivals"):
+        aliased = getattr(clients, name)
+    assert aliased is getattr(arrivals, name)
 
 
-def test_closed_population_keeps_n_outstanding():
-    sim, streams, frontend, collector, workload = _stack()
-    clients = ClosedPopulation(
-        sim, frontend, workload, num_clients=7, think_time=None,
-        rng=streams.stream("clients"),
-    )
-    clients.start()
-    sim.run(until=0.5)
-    # at any time exactly 7 transactions are in the system (no think)
-    assert frontend.in_service + frontend.queue_length == 7
-    assert collector.arrivals >= 7
+def test_warning_names_the_accessed_attribute():
+    with pytest.warns(DeprecationWarning, match="clients.OpenSource"):
+        clients.OpenSource  # noqa: B018 - attribute access is the trigger
 
 
-def test_closed_population_start_idempotent():
-    sim, streams, frontend, collector, workload = _stack()
-    clients = ClosedPopulation(
-        sim, frontend, workload, num_clients=3, think_time=None,
-        rng=streams.stream("clients"),
-    )
-    clients.start()
-    clients.start()
-    sim.run(until=0.1)
-    assert frontend.in_service + frontend.queue_length == 3
+def test_open_source_still_aliases_open_poisson():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert clients.OpenSource is arrivals.OpenPoisson
 
 
-def test_closed_population_think_time_idles_clients():
-    sim, streams, frontend, collector, workload = _stack()
-    clients = ClosedPopulation(
-        sim, frontend, workload, num_clients=5,
-        think_time=Deterministic(10.0), rng=streams.stream("clients"),
-    )
-    clients.start()
-    sim.run(until=1.0)
-    # after the first round everyone is thinking
-    assert frontend.in_service == 0
+def test_unknown_attribute_raises_without_warning():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        with pytest.raises(AttributeError, match="NoSuchThing"):
+            clients.NoSuchThing
 
 
-def test_open_source_rate():
-    sim, streams, frontend, collector, workload = _stack(mpl=50)
-    source = OpenSource(
-        sim, frontend, workload, interarrival=Exponential(0.01),
-        rng=streams.stream("arrivals"),
-    )
-    source.start()
-    sim.run(until=10.0)
-    # ~100/s for 10s
-    assert collector.arrivals == pytest.approx(1000, rel=0.15)
+def test_dir_lists_the_legacy_surface():
+    assert set(clients.__all__) <= set(dir(clients))
 
 
-def test_open_source_max_arrivals():
-    sim, streams, frontend, collector, workload = _stack()
-    source = OpenSource(
-        sim, frontend, workload, interarrival=Deterministic(0.001),
-        rng=streams.stream("arrivals"), max_arrivals=25,
-    )
-    source.start()
-    sim.run()
-    assert collector.arrivals == 25
-
-
-def test_priority_assigner_applied():
-    sim, streams, frontend, collector, workload = _stack()
-    clients = ClosedPopulation(
-        sim, frontend, workload, num_clients=4, think_time=None,
-        rng=streams.stream("clients"),
-        priority_assigner=fraction_high_assigner(1.0),
-    )
-    clients.start()
-    sim.run(until=0.2)
-    assert all(r.priority == Priority.HIGH for r in collector.records)
-
-
-def test_fraction_high_assigner_validation():
-    with pytest.raises(ValueError):
-        fraction_high_assigner(1.5)
-
-
-def test_closed_population_validation():
-    sim, streams, frontend, _collector, workload = _stack()
-    with pytest.raises(ValueError):
-        ClosedPopulation(
-            sim, frontend, workload, num_clients=0, think_time=None,
-            rng=streams.stream("clients"),
-        )
+def test_legacy_import_style_works_with_warning():
+    with pytest.warns(DeprecationWarning):
+        from repro.core.clients import ClosedPopulation
+    assert ClosedPopulation is arrivals.ClosedPopulation

@@ -40,6 +40,7 @@ def test_examples_directory_complete():
         "mpl_autotuning.py",
         "capacity_planning.py",
         "open_system_response_time.py",
+        "sharded_cluster.py",
     } <= names
 
 
@@ -75,3 +76,10 @@ def test_open_system_example_runs():
     proc = _run("open_system_response_time.py")
     assert proc.returncode == 0, proc.stderr
     assert "C^2 = 15" in proc.stdout
+
+
+def test_sharded_cluster_example_runs():
+    proc = _run("sharded_cluster.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "least_in_flight" in proc.stdout
+    assert "re-splitting" in proc.stdout
