@@ -21,7 +21,7 @@ COV_MIN     ?= 90
 COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench cluster-bench kernel-bench reproduce smoke clean
+.PHONY: test lint bench cluster-bench kernel-bench profile reproduce smoke clean
 
 test:
 	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
@@ -52,13 +52,25 @@ cluster-bench:
 	$(PYTHON) -m repro.experiments bench --figure sh --jobs $(JOBS) \
 		--cache-dir .cluster-bench-cache --output BENCH_sh.json
 
-# Serial figure-2 cold pass against the checked-in BENCH_seed.json;
-# fails when the simulation kernel regresses >2x (what CI runs).
+# Serial figure-2 cold pass against the checked-in kernel-v2 baseline
+# BENCH_pr4.json (1.48x faster than the seed-era baseline, so the
+# same 2x ratio is a much tighter absolute budget; what CI runs).
+# BENCH_seed.json remains checked in as the start of the trajectory.
 kernel-bench:
 	rm -rf .kernel-bench-cache
 	$(PYTHON) -m repro.experiments bench --figure 2 --jobs 1 \
 		--cache-dir .kernel-bench-cache --output BENCH_figure2.json \
-		--baseline BENCH_seed.json --max-regression 2
+		--baseline BENCH_pr4.json --max-regression 2
+
+# cProfile the kernel on the figure-2 fast grid (serial, cold cache)
+# and print the top 25 functions by self time.
+profile:
+	rm -rf .profile-cache
+	$(PYTHON) -m cProfile -o profile.out -m repro.experiments bench \
+		--figure 2 --jobs 1 --cache-dir .profile-cache \
+		--output BENCH_profile.json
+	$(PYTHON) -c "import pstats; pstats.Stats('profile.out').sort_stats('tottime').print_stats(25)"
+	rm -rf .profile-cache
 
 smoke:
 	$(PYTHON) -m repro.experiments 4 --jobs $(JOBS) --cache-dir $(CACHE_DIR)
@@ -67,6 +79,7 @@ reproduce:
 	$(PYTHON) -m repro.experiments all --jobs $(JOBS) --cache-dir $(CACHE_DIR)
 
 clean:
-	rm -rf $(CACHE_DIR) $(BENCH_CACHE) .kernel-bench-cache .cluster-bench-cache src/*.egg-info
-	rm -f BENCH_smoke.json BENCH_figure2.json BENCH_sh.json   # BENCH_seed.json is checked in
+	rm -rf $(CACHE_DIR) $(BENCH_CACHE) .kernel-bench-cache .cluster-bench-cache .profile-cache src/*.egg-info
+	rm -f BENCH_smoke.json BENCH_figure2.json BENCH_sh.json BENCH_profile.json profile.out
+	# BENCH_seed.json / BENCH_pr4*.json are checked in (perf trajectory)
 	find . -name __pycache__ -type d -exec rm -rf {} +

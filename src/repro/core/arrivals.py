@@ -121,11 +121,20 @@ class ClosedPopulation(ArrivalProcess):
             self.sim.process(self._client(client_id), name=f"client{client_id}")
 
     def _client(self, client_id: int):
+        # the closed loop is the hottest arrival path: the per-loop
+        # constants are hoisted, but the draw itself stays in _sample
+        # so every arrival regime shares one sampling code path
+        think = self.think_time
+        if think is not None and not think.mean > 0:
+            think = None
+        rng = self._rng
+        sample = self._sample
+        submit = self.frontend.submit
+        timeout = self.sim.timeout
         while True:
-            tx = self._sample(client_id=client_id)
-            yield self.frontend.submit(tx)
-            if self.think_time is not None and self.think_time.mean > 0:
-                yield self.sim.timeout(self.think_time.sample(self._rng))
+            yield submit(sample(client_id=client_id))
+            if think is not None:
+                yield timeout(think.sample(rng))
 
 
 class OpenPoisson(ArrivalProcess):

@@ -334,7 +334,7 @@ class _ShardView:
         records = self.collector.records
         start_index = len(records)
         advance_until(
-            self._system.sim, records, start_index + count,
+            self._system.sim, self.collector, start_index + count,
             what=f"shard {self.index}'s completion target",
         )
         return records[start_index:start_index + count]

@@ -55,6 +55,8 @@ class ExternalScheduler:
         self._in_service = 0
         self.dispatched = 0
         self.completed = 0
+        self._on_complete_cb = self._on_complete  # one bound method, reused
+        self._fire = sim._fire_now  # same-instant completion lane
 
     # -- configuration -----------------------------------------------------
 
@@ -81,8 +83,8 @@ class ExternalScheduler:
         """Accept a transaction; the event fires at commit with ``tx``."""
         tx.arrival_time = self.sim.now
         tx.status = TxStatus.QUEUED
-        done = Event(self.sim)
-        tx._completion_event = done  # stashed for _on_complete
+        done = self.sim.event()  # pooled
+        tx._completion_event = done  # slot stashed for _on_complete
         if self.collector is not None:
             self.collector.on_arrival(tx)
         self.policy.push(tx)
@@ -102,19 +104,31 @@ class ExternalScheduler:
     # -- internals ---------------------------------------------------------------
 
     def _dispatch(self) -> None:
-        while self.policy and (self._mpl is None or self._in_service < self._mpl):
-            tx = self.policy.pop()
+        policy = self.policy
+        # len() over bool(): QueuePolicy.__bool__ delegates to __len__,
+        # so calling len directly saves a frame on this per-arrival,
+        # per-completion path
+        while len(policy) != 0 and (self._mpl is None or self._in_service < self._mpl):
+            tx = policy.pop()
             self._in_service += 1
             self.dispatched += 1
             process = self.engine.execute(tx)
-            process.add_callback(lambda _event, tx=tx: self._on_complete(tx))
+            # the engine process fires with the transaction as its
+            # value, so one bound method serves every completion — no
+            # per-dispatch closure
+            process.add_callback(self._on_complete_cb)
 
-    def _on_complete(self, tx: Transaction) -> None:
+    def _on_complete(self, event: Event) -> None:
+        tx: Transaction = event.value
         self._in_service -= 1
         self.completed += 1
         if self.collector is not None:
             self.collector.on_completion(tx)
-        done = tx.__dict__.pop("_completion_event", None)
+        done = tx._completion_event
+        tx._completion_event = None
         self._dispatch()
         if done is not None:
-            done.succeed(tx)
+            # inlined done.succeed(tx): known untriggered
+            done._triggered = True
+            done._value = tx
+            self._fire(done)

@@ -259,23 +259,22 @@ def build_engine_stack(
 
 
 def advance_until(
-    sim: Simulator, records: List[TransactionRecord], target: int,
+    sim: Simulator, collector: MetricsCollector, target: int,
     what: str = "the completion target",
 ) -> None:
-    """Step ``sim`` until ``records`` holds ``target`` entries.
+    """Run ``sim`` until ``collector`` holds ``target`` completion records.
 
-    The shared inner loop of every measurement window (system-wide and
-    per-shard); raises :class:`SimulationError` if the agenda drains
-    first, so callers can treat a drained simulation uniformly.
+    The shared measurement window of every topology (system-wide and
+    per-shard).  The count condition is handed to the kernel as a
+    :class:`~repro.sim.engine.KernelHooks` (built by the collector), so
+    the drain loop checks it inline instead of an outer Python loop
+    stepping one event at a time.  Raises :class:`SimulationError` if
+    the agenda drains first, so callers can treat a drained simulation
+    uniformly.
     """
-    step = sim.step
-    agenda = sim._agenda
-    while len(records) < target:
-        if not agenda:
-            raise SimulationError(
-                f"simulation drained before reaching {what}"
-            )
-        step()
+    sim.run(hooks=collector.completion_hooks(target))
+    if len(collector.records) < target:
+        raise SimulationError(f"simulation drained before reaching {what}")
 
 
 class MeasuredSystem:
@@ -310,7 +309,7 @@ class MeasuredSystem:
         records = self.collector.records  # appended-to in place, identity stable
         start_index = len(records)
         target = start_index + count
-        advance_until(self.sim, records, target)
+        advance_until(self.sim, self.collector, target)
         return records[start_index:target]
 
     def run(self, transactions: int = 2000, warmup_fraction: float = 0.2) -> RunResult:

@@ -98,9 +98,10 @@ class AnalyticBufferPool:
         if miss_p >= 1.0:
             return accesses
         if accesses <= 64:
+            random = rng.random  # bound once; same draws, same order
             misses = 0
             for _ in range(accesses):
-                if rng.random() < miss_p:
+                if random() < miss_p:
                     misses += 1
             return misses
         mean = accesses * miss_p

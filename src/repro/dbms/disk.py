@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import collections
 import random
-from typing import Deque, List, Tuple
+from typing import Deque, List, Optional, Tuple
 
-from repro.sim.distributions import Distribution
+from repro.sim.distributions import BlockSampler, Distribution
 from repro.sim.engine import Event, Simulator
 from repro.sim.station import ClassStats, Station
 
@@ -28,6 +28,12 @@ class Disk(Station):
     Requests are served one at a time in arrival order; an optional
     priority mode serves pending high-priority requests first (used
     only by internal-scheduling ablations, never by the stock DBMS).
+
+    Service times come through a :class:`BlockSampler` (pre-drawn in
+    blocks, served in draw order).  Disks that share one rng — the
+    members of a :class:`DiskArray` — must share one sampler so the
+    stream's interleaving across disks is exactly what per-request
+    sampling would have produced.
     """
 
     def __init__(
@@ -37,11 +43,17 @@ class Disk(Station):
         rng: random.Random,
         name: str = "disk",
         priority_order: bool = False,
+        sampler: Optional[BlockSampler] = None,
     ):
         super().__init__(sim, name)
         self.service_time = service_time
         self.priority_order = priority_order
-        self._rng = rng
+        # NB: the rng is deliberately NOT stashed on the disk — every
+        # draw must go through the (possibly shared) block sampler, or
+        # the pre-drawn stream interleaving would silently diverge
+        self._sample = sampler if sampler is not None else BlockSampler(
+            service_time, rng
+        )
         self._queue: Deque[Tuple[int, Event, float]] = collections.deque()
         self._busy = False
         self._busy_time = 0.0
@@ -53,10 +65,11 @@ class Disk(Station):
         self._current_priority = 0
         self._current_enqueued = 0.0
         self._finish_callback = self._finish
+        self._fire = sim._fire_now  # same-instant completion lane
 
     def submit(self, priority: int = 0) -> Event:
         """Enqueue one page request; the event fires when it completes."""
-        done = Event(self.sim)
+        done = self.sim.event()  # pooled
         if self._busy:
             self._queue.append((priority, done, self.sim.now))
         else:
@@ -94,7 +107,7 @@ class Disk(Station):
 
     def _start(self, done: Event, priority: int, enqueued: float) -> None:
         self._busy = True
-        duration = self.service_time.sample(self._rng)
+        duration = self._sample()
         self._current_done = done
         self._current_duration = duration
         self._current_priority = priority
@@ -113,7 +126,9 @@ class Disk(Station):
             service_time=duration,
             wait_time=max(0.0, self.sim.now - duration - self._current_enqueued),
         )
-        done.succeed()
+        # inlined done.succeed(): known untriggered, no value
+        done._triggered = True
+        self._fire(done)
         if self._queue:
             priority, next_done, enqueued = self._pop_next()
             self._start(next_done, priority, enqueued)
@@ -154,8 +169,15 @@ class DiskArray(Station):
         if num_disks < 1:
             raise ValueError(f"num_disks must be >= 1, got {num_disks!r}")
         super().__init__(sim, "disk")
+        # one sampler for the whole array: the member disks draw from a
+        # single shared stream, so buffering must also be shared to keep
+        # the cross-disk interleaving identical to per-request sampling
+        sampler = BlockSampler(service_time, rng)
         self.disks: List[Disk] = [
-            Disk(sim, service_time, rng, name=f"disk{i}", priority_order=priority_order)
+            Disk(
+                sim, service_time, rng,
+                name=f"disk{i}", priority_order=priority_order, sampler=sampler,
+            )
             for i in range(num_disks)
         ]
         self._next_home = 0

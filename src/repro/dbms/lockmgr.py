@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.dbms.config import LockSchedulingPolicy
 from repro.dbms.transaction import Priority, Transaction
 from repro.sim.engine import Event, Simulator
-from repro.sim.station import Station
+from repro.sim.station import ClassStats, Station
 
 
 class DeadlockError(Exception):
@@ -108,10 +108,17 @@ class LockManager(Station):
         super().__init__(sim, "locks")
         self.policy = policy
         self._preempt = preempt
+        # the tid → transaction map only feeds POW's blocked-holder
+        # eviction, so the other policies skip maintaining it
+        self._track_tx = policy is LockSchedulingPolicy.POW
         self._locks: Dict[int, _Lock] = {}
         self._tx_by_id: Dict[int, Transaction] = {}
         self._waiting: Dict[int, int] = {}  # tid -> item it is blocked on
-        self._held: Dict[int, Set[int]] = {}  # tid -> items held
+        # tid -> items held.  Deliberately a *set*: release_all walks it
+        # in set-iteration order, and that order decides which waiter of
+        # a multi-item release is granted first at the same instant —
+        # changing the container would silently reorder contended runs.
+        self._held: Dict[int, Set[int]] = {}
         self._seq = itertools.count()
         # statistics
         self.deadlocks = 0
@@ -128,12 +135,14 @@ class LockManager(Station):
         deadlock.  Grants are strict two-phase: locks stay held until
         :meth:`release_all`.
         """
-        self._tx_by_id[tx.tid] = tx
+        if self._track_tx:
+            self._tx_by_id[tx.tid] = tx
         lock = self._locks.get(item)
         if lock is None:
             # Fast path: a brand-new lock is granted immediately — no
             # request object, no queue, exactly what the general path
-            # below would conclude.
+            # below would conclude.  _record is inlined (zero-wait
+            # grants are the most frequent station operation of all).
             lock = _Lock()
             self._locks[item] = lock
             lock.holders[tx.tid] = exclusive
@@ -141,21 +150,22 @@ class LockManager(Station):
             if held is None:
                 held = self._held[tx.tid] = set()
             held.add(item)
-            self._record(tx.priority)
-            event = Event(self.sim)
-            event.succeed()
-            return event
-        event = Event(self.sim)
+            priority = tx.priority
+            stats = self.per_class.get(priority)
+            if stats is None:
+                stats = self.per_class[priority] = ClassStats()
+            stats.requests += 1
+            return self.sim.fired()
 
         held_mode = lock.holders.get(tx.tid)
         if held_mode is not None:
             if held_mode or not exclusive:
                 self._record(tx.priority)
-                event.succeed()  # re-entrant: already hold a strong-enough mode
-                return event
+                return self.sim.fired()  # re-entrant: strong-enough mode held
             upgrade = True
         else:
             upgrade = False
+        event = self.sim.event()  # pooled
 
         request = _Request(tx, exclusive, event, next(self._seq), upgrade, self.sim.now)
         self._insert(lock, request)
@@ -170,15 +180,23 @@ class LockManager(Station):
 
     def release_all(self, tx: Transaction) -> None:
         """Release every lock ``tx`` holds (commit or abort)."""
-        items = self._held.pop(tx.tid, set())
-        for item in items:
-            lock = self._locks.get(item)
-            if lock is None:
-                continue
-            lock.holders.pop(tx.tid, None)
-            self._dispatch(item, lock)
-            self._gc(item, lock)
-        self._tx_by_id.pop(tx.tid, None)
+        items = self._held.pop(tx.tid, None)
+        if items:
+            tid = tx.tid
+            locks = self._locks
+            for item in items:
+                lock = locks.get(item)
+                if lock is None:
+                    continue
+                lock.holders.pop(tid, None)
+                # inlined _dispatch/_gc fast paths: most released items
+                # have no waiters, and most become garbage right away
+                if lock.queue:
+                    self._dispatch(item, lock)
+                if not lock.holders and not lock.queue:
+                    del locks[item]
+        if self._track_tx:
+            self._tx_by_id.pop(tx.tid, None)
 
     def abort(self, tx: Transaction) -> None:
         """Abort cleanup: drop queued requests, then release held locks."""

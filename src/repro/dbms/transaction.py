@@ -9,9 +9,8 @@ simulated hardware.
 
 from __future__ import annotations
 
-import dataclasses
 import enum
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 class Priority(enum.IntEnum):
@@ -34,9 +33,13 @@ class TxStatus(enum.Enum):
     ABORTED = "aborted"
 
 
-@dataclasses.dataclass
 class Transaction:
     """One transaction instance with sampled resource demands.
+
+    A hand-rolled ``__slots__`` class rather than a dataclass: the
+    workload sources mint one per arrival on the simulator's hot path,
+    and slot stores are both faster to construct and faster for the
+    engine's lifecycle bookkeeping to update.
 
     Attributes
     ----------
@@ -58,32 +61,64 @@ class Transaction:
         Priority class (see :class:`Priority`).
     client_id:
         Issuing closed-loop client, if any.
+
+    The remaining attributes are lifecycle fields (timestamps, status,
+    restart/lock-wait accounting) filled in as the transaction
+    progresses; ``_completion_event`` is the external scheduler's
+    stashed completion event.
     """
 
-    tid: int
-    type_name: str
-    cpu_demand: float
-    page_accesses: int
-    lock_requests: List[Tuple[int, bool]] = dataclasses.field(default_factory=list)
-    is_update: bool = False
-    priority: int = Priority.LOW
-    client_id: Optional[int] = None
+    __slots__ = (
+        "tid", "type_name", "cpu_demand", "page_accesses", "lock_requests",
+        "is_update", "priority", "client_id", "arrival_time", "dispatch_time",
+        "completion_time", "status", "restarts", "lock_wait_time",
+        "_completion_event",
+    )
 
-    # lifecycle timestamps, filled in as the transaction progresses
-    arrival_time: float = 0.0
-    dispatch_time: Optional[float] = None
-    completion_time: Optional[float] = None
-    status: TxStatus = TxStatus.QUEUED
-    restarts: int = 0
-    lock_wait_time: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.cpu_demand < 0:
-            raise ValueError(f"cpu_demand must be non-negative, got {self.cpu_demand!r}")
-        if self.page_accesses < 0:
+    def __init__(
+        self,
+        tid: int,
+        type_name: str,
+        cpu_demand: float,
+        page_accesses: int,
+        lock_requests: Optional[Sequence[Tuple[int, bool]]] = None,
+        is_update: bool = False,
+        priority: int = Priority.LOW,
+        client_id: Optional[int] = None,
+        arrival_time: float = 0.0,
+        dispatch_time: Optional[float] = None,
+        completion_time: Optional[float] = None,
+        status: TxStatus = TxStatus.QUEUED,
+        restarts: int = 0,
+        lock_wait_time: float = 0.0,
+    ):
+        if cpu_demand < 0:
+            raise ValueError(f"cpu_demand must be non-negative, got {cpu_demand!r}")
+        if page_accesses < 0:
             raise ValueError(
-                f"page_accesses must be non-negative, got {self.page_accesses!r}"
+                f"page_accesses must be non-negative, got {page_accesses!r}"
             )
+        self.tid = tid
+        self.type_name = type_name
+        self.cpu_demand = cpu_demand
+        self.page_accesses = page_accesses
+        self.lock_requests = lock_requests if lock_requests is not None else []
+        self.is_update = is_update
+        self.priority = priority
+        self.client_id = client_id
+        self.arrival_time = arrival_time
+        self.dispatch_time = dispatch_time
+        self.completion_time = completion_time
+        self.status = status
+        self.restarts = restarts
+        self.lock_wait_time = lock_wait_time
+        self._completion_event = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Transaction(tid={self.tid}, type_name={self.type_name!r}, "
+            f"priority={int(self.priority)}, status={self.status})"
+        )
 
     @property
     def response_time(self) -> Optional[float]:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro.sim.distributions import Distribution
+from repro.sim.distributions import BlockSampler, Distribution
 from repro.sim.engine import Event, Simulator
 from repro.sim.station import Station
 
@@ -44,7 +44,10 @@ class LogManager(Station):
         super().__init__(sim, "log")
         self.write_time = write_time
         self.group_commit = group_commit
-        self._rng = rng
+        # The rng is deliberately NOT stashed: every write-time draw
+        # must go through the block sampler, or the pre-drawn stream
+        # would silently reorder.  The log disk owns its stream.
+        self._sample = BlockSampler(write_time, rng)
         self._writing = False
         # pending commits: (event, priority, enqueue time)
         self._pending: List[tuple] = []
@@ -54,11 +57,12 @@ class LogManager(Station):
         self._batch: List[tuple] = []
         self._batch_duration = 0.0
         self._finish_callback = self._finish_write
+        self._fire = sim._fire_now  # same-instant completion lane
 
     def commit(self, priority: int = 0) -> Event:
         """Force the log for one committing transaction."""
         self._commits += 1
-        done = Event(self.sim)
+        done = self.sim.event()  # pooled
         self._pending.append((done, priority, self.sim.now))
         if not self._writing:
             self._start_write()
@@ -100,7 +104,7 @@ class LogManager(Station):
         else:
             batch = [self._pending.pop(0)]
         self._writing = True
-        duration = self.write_time.sample(self._rng)
+        duration = self._sample()
         self._batch = batch
         self._batch_duration = duration
         timer = self.sim.timeout(duration)
@@ -113,6 +117,7 @@ class LogManager(Station):
         self._busy_time += duration
         self._writes += 1
         started = self.sim.now - duration
+        fire = self._fire
         for event, priority, enqueued in batch:
             # every commit in the batch was forced by this one write;
             # its wait is the time spent behind the previous in-flight
@@ -122,7 +127,9 @@ class LogManager(Station):
                 service_time=duration,
                 wait_time=max(0.0, started - enqueued),
             )
-            event.succeed()
+            # inlined event.succeed(): known untriggered, no value
+            event._triggered = True
+            fire(event)
         if self._pending:
             self._start_write()
         else:

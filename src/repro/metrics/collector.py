@@ -10,16 +10,21 @@ measurement intervals.
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional
 
 from repro.dbms.transaction import Transaction
 from repro.metrics import stats
+from repro.sim.engine import KernelHooks
 
 
-@dataclasses.dataclass(frozen=True)
-class TransactionRecord:
-    """Immutable snapshot of one completed transaction."""
+class TransactionRecord(NamedTuple):
+    """Immutable snapshot of one completed transaction.
+
+    A named tuple rather than a frozen dataclass: records are minted
+    once per completion on the kernel's measurement path, and tuple
+    construction skips the per-field ``object.__setattr__`` a frozen
+    dataclass pays.
+    """
 
     tid: int
     type_name: str
@@ -73,6 +78,16 @@ class MetricsCollector:
                 lock_wait_time=tx.lock_wait_time,
             )
         )
+
+    def completion_hooks(self, target: int) -> KernelHooks:
+        """Kernel stop condition: run until ``target`` total completions.
+
+        Handing this to :meth:`~repro.sim.engine.Simulator.run` makes
+        the kernel poll the record count inline after each event — the
+        completion-counting half of the measurement loop lives in the
+        kernel, not in a per-event Python loop out here.
+        """
+        return KernelHooks(self.records, target)
 
     # -- selection -----------------------------------------------------------
 

@@ -10,16 +10,19 @@ from a mean and a squared coefficient of variation
 """
 
 from repro.sim.engine import (
+    Agenda,
     AllOf,
     AnyOf,
     Event,
     Interrupt,
+    KernelHooks,
     Process,
     SimulationError,
     Simulator,
     Timeout,
 )
 from repro.sim.distributions import (
+    BlockSampler,
     Deterministic,
     Distribution,
     Empirical,
@@ -35,8 +38,10 @@ from repro.sim.distributions import (
 from repro.sim.random import RandomStreams
 
 __all__ = [
+    "Agenda",
     "AllOf",
     "AnyOf",
+    "BlockSampler",
     "Deterministic",
     "Distribution",
     "Empirical",
@@ -45,6 +50,7 @@ __all__ = [
     "Exponential",
     "Hyperexponential",
     "Interrupt",
+    "KernelHooks",
     "LogNormal",
     "Mixture",
     "Pareto",

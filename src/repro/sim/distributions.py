@@ -11,6 +11,16 @@ All distributions draw from a caller-supplied
 :class:`random.Random`-compatible generator so that every component of
 the simulator can own an independent, reproducible stream (see
 :mod:`repro.sim.random`).
+
+Hot consumers (the disk array, the WAL, delay stations) do not call
+:meth:`Distribution.sample` per request; they pull variates through a
+:class:`BlockSampler`, which pre-draws whole blocks via
+:meth:`Distribution.sample_block` and serves them one at a time.  A
+block of ``n`` variates advances the underlying stream exactly as
+``n`` individual ``sample`` calls would — the specialized block
+implementations hoist parameter lookups, never the arithmetic — so as
+long as a stream has a single consumer (the engine's seed-derivation
+rule), results are bit-identical to unbuffered sampling.
 """
 
 from __future__ import annotations
@@ -27,6 +37,14 @@ class Distribution:
     def sample(self, rng: _random.Random) -> float:
         """Draw one variate using ``rng``."""
         raise NotImplementedError
+
+    def sample_block(self, rng: _random.Random, n: int) -> List[float]:
+        """Draw ``n`` variates — the stream advances exactly as ``n``
+        :meth:`sample` calls would (subclasses may only hoist parameter
+        lookups out of the loop, never reorder or batch the raw draws).
+        """
+        sample = self.sample
+        return [sample(rng) for _ in range(n)]
 
     @property
     def mean(self) -> float:
@@ -90,6 +108,9 @@ class Deterministic(Distribution):
     def sample(self, rng: _random.Random) -> float:
         return self.value
 
+    def sample_block(self, rng: _random.Random, n: int) -> List[float]:
+        return [self.value] * n
+
     @property
     def mean(self) -> float:
         return self.value
@@ -101,6 +122,10 @@ class Deterministic(Distribution):
 
 class Exponential(Distribution):
     """Exponential distribution with the given mean (C^2 = 1)."""
+
+    # NB: no derived attributes — a Distribution's ``__dict__`` is part
+    # of the canonical config encoding, so every instance attribute is
+    # fingerprint-relevant (see repro.core.system.canonical_jsonable).
 
     def __init__(self, mean: float):
         if mean <= 0:
@@ -114,6 +139,11 @@ class Exponential(Distribution):
 
     def sample(self, rng: _random.Random) -> float:
         return rng.expovariate(1.0 / self._mean)
+
+    def sample_block(self, rng: _random.Random, n: int) -> List[float]:
+        expovariate = rng.expovariate
+        rate = 1.0 / self._mean
+        return [expovariate(rate) for _ in range(n)]
 
     @property
     def mean(self) -> float:
@@ -135,6 +165,11 @@ class Uniform(Distribution):
 
     def sample(self, rng: _random.Random) -> float:
         return rng.uniform(self.low, self.high)
+
+    def sample_block(self, rng: _random.Random, n: int) -> List[float]:
+        uniform = rng.uniform
+        low, high = self.low, self.high
+        return [uniform(low, high) for _ in range(n)]
 
     @property
     def mean(self) -> float:
@@ -162,6 +197,18 @@ class Erlang(Distribution):
         for _ in range(self.k):
             total += rng.expovariate(1.0 / phase_mean)
         return total
+
+    def sample_block(self, rng: _random.Random, n: int) -> List[float]:
+        expovariate = rng.expovariate
+        rate = 1.0 / (self._mean / self.k)
+        k_range = range(self.k)
+        out = []
+        for _ in range(n):
+            total = 0.0
+            for _ in k_range:
+                total += expovariate(rate)
+            out.append(total)
+        return out
 
     @property
     def mean(self) -> float:
@@ -267,6 +314,12 @@ class Pareto(Distribution):
         u = rng.random()
         return self._scale * ((1.0 - u) ** (-1.0 / self.alpha) - 1.0)
 
+    def sample_block(self, rng: _random.Random, n: int) -> List[float]:
+        random = rng.random
+        scale = self._scale
+        exponent = -1.0 / self.alpha
+        return [scale * ((1.0 - random()) ** exponent - 1.0) for _ in range(n)]
+
     @property
     def mean(self) -> float:
         return self._mean
@@ -292,6 +345,13 @@ class LogNormal(Distribution):
 
     def sample(self, rng: _random.Random) -> float:
         return math.exp(rng.gauss(self._mu, math.sqrt(self._sigma2)))
+
+    def sample_block(self, rng: _random.Random, n: int) -> List[float]:
+        gauss = rng.gauss
+        exp = math.exp
+        mu = self._mu
+        sigma = math.sqrt(self._sigma2)
+        return [exp(gauss(mu, sigma)) for _ in range(n)]
 
     @property
     def mean(self) -> float:
@@ -373,3 +433,67 @@ def moments_to_scv(mean: float, second_moment: float) -> float:
     if mean <= 0:
         raise ValueError(f"mean must be positive, got {mean!r}")
     return max(0.0, second_moment / mean**2 - 1.0)
+
+
+class BlockSampler:
+    """Serves one stream's variates from pre-drawn blocks.
+
+    Binds a distribution to the :class:`random.Random` stream that owns
+    it and amortizes the per-variate call overhead (method dispatch,
+    parameter lookups) over ``block_size`` draws: calling the sampler
+    pops the next buffered variate, refilling the buffer via
+    :meth:`Distribution.sample_block` when it runs dry.
+
+    **Bit-identity.**  The k-th variate served equals the k-th value
+    ``distribution.sample(rng)`` would have returned, because a block
+    advances the stream exactly like the equivalent individual draws
+    and values are served strictly in draw order.  The only requirement
+    is the stream-ownership rule the engine's seed derivation already
+    enforces: nothing else may draw from ``rng``, otherwise pre-drawing
+    would reorder the interleaving.  Stations sharing one stream (the
+    disks of an array) must therefore share one sampler.
+
+    The buffer holds the pending block in reverse, so serving is a
+    single O(1) ``list.pop()``.
+    """
+
+    __slots__ = ("distribution", "rng", "block_size", "_buffer")
+
+    def __init__(
+        self,
+        distribution: Distribution,
+        rng: _random.Random,
+        block_size: int = 512,
+    ):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size!r}")
+        self.distribution = distribution
+        self.rng = rng
+        self.block_size = block_size
+        self._buffer: List[float] = []
+
+    def __call__(self) -> float:
+        """The next variate of the stream."""
+        buffer = self._buffer
+        if not buffer:
+            buffer = self._buffer = self.distribution.sample_block(
+                self.rng, self.block_size
+            )
+            buffer.reverse()
+        return buffer.pop()
+
+    @property
+    def pending(self) -> int:
+        """Variates drawn but not yet served (introspection/tests)."""
+        return len(self._buffer)
+
+    @property
+    def mean(self) -> float:
+        """The wrapped distribution's mean (pass-through)."""
+        return self.distribution.mean
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockSampler({self.distribution!r}, block_size={self.block_size}, "
+            f"pending={self.pending})"
+        )

@@ -3,7 +3,7 @@
 The engine follows the classic event/process design (as popularized by
 SimPy) but is intentionally small and dependency free:
 
-* :class:`Simulator` owns the virtual clock and a binary-heap agenda.
+* :class:`Simulator` owns the virtual clock and an :class:`Agenda`.
 * :class:`Event` is a one-shot occurrence with callbacks and a value.
 * :class:`Process` wraps a Python generator; each ``yield``-ed event
   suspends the process until the event fires.
@@ -15,6 +15,17 @@ events scheduled for the same instant fire in scheduling order.
 The hot path is tuned for the workload the DBMS model generates —
 millions of events, almost all of which have exactly one waiter:
 
+* **Batched agenda** — the :class:`Agenda` owns the (time, sequence)
+  total order behind one ``schedule`` entry point and pops whole
+  same-timestamp runs in a single call (:meth:`Agenda.pop_batch`), so
+  the zero-delay cascades the DBMS model generates (lock grants,
+  completion notifications, bootstrap events) drain without re-checking
+  the run loop's stop conditions per event.
+* **In-kernel run loop** — :meth:`Simulator.run` is a single stack
+  frame with every per-event lookup bound to a local; there is no
+  ``step()`` call per event.  Measurement loops hand the kernel a
+  :class:`KernelHooks` so "run until N completions" is an inlined
+  length check instead of an outer Python loop.
 * **Single-waiter fast path** — an event stores its first callback in a
   dedicated slot and only allocates a callback list when a second
   waiter appears, so the common yield/resume cycle never touches a
@@ -24,8 +35,9 @@ millions of events, almost all of which have exactly one waiter:
   per-simulator free list and are reused by the next
   :meth:`Simulator.timeout` call instead of being reallocated.
 * **Allocation-free stepping** — :class:`Process` resumes its generator
-  directly (no per-step closures) and schedules itself without
-  intermediate helper events beyond the initial bootstrap.
+  directly (no per-step closures, no per-interrupt closures) and
+  schedules itself without intermediate helper events beyond the
+  initial bootstrap.
 
 None of this changes observable semantics: event ordering, values and
 callback sequencing are identical to the straightforward
@@ -36,7 +48,8 @@ from __future__ import annotations
 
 import heapq
 import sys
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 
 class SimulationError(Exception):
@@ -53,6 +66,143 @@ class Interrupt(Exception):
     def __init__(self, cause: Any = None):
         super().__init__(cause)
         self.cause = cause
+
+
+class Agenda:
+    """The simulator's future-event set: a (time, sequence) total order.
+
+    A binary heap of ``(when, sequence, event)`` entries plus a plain
+    FIFO of *same-instant* events, behind a single :meth:`schedule`
+    entry point — every scheduling site in the kernel
+    (``Event.succeed``, ``Timeout``, the timeout free list,
+    ``Simulator._schedule``) funnels through it, so the tie-breaking
+    order has exactly one owner.
+
+    The FIFO is the zero-delay fast path.  Most events the DBMS model
+    fires are scheduled *at the current instant* (lock grants,
+    completion notifications, process bootstraps); those skip the heap
+    entirely — no entry tuple, no sequence number, no ``heappush`` /
+    ``heappop`` — and are served in append order.  The combined order
+    is exactly the (time, sequence) order of a single heap:
+
+    * a heap entry at the current instant was necessarily scheduled at
+      an *earlier* instant (``schedule`` routes anything landing on the
+      current instant — even a positive delay rounded down by float
+      addition — to the FIFO), so it is older than every FIFO entry and
+      fires first;
+    * FIFO entries fire in scheduling order among themselves;
+    * everything else in the heap lies strictly in the future.
+
+    Whenever control leaves the drain loop (:meth:`flush`, called on
+    every :meth:`Simulator.run` exit and by the one-at-a-time
+    accessors), pending FIFO entries are folded back into the heap with
+    fresh sequence numbers — they are the youngest entries at their
+    timestamp, so the total order is unchanged and the heap alone is
+    again authoritative.
+    """
+
+    __slots__ = ("_heap", "_dq", "_sequence", "_now")
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, "Event"]] = []
+        self._dq: Deque["Event"] = deque()  # same-instant FIFO
+        self._sequence = 0
+        self._now = 0.0
+
+    def schedule(self, event: "Event", when: float) -> None:
+        """Add ``event`` at time ``when`` (ties fire in schedule order)."""
+        if when == self._now:
+            self._dq.append(event)
+        else:
+            self._sequence = sequence = self._sequence + 1
+            heapq.heappush(self._heap, (when, sequence, event))
+
+    def flush(self) -> None:
+        """Fold pending same-instant entries into the heap.
+
+        They receive fresh (youngest) sequence numbers at the current
+        instant, which is exactly the order they already occupied.
+        """
+        dq = self._dq
+        if dq:
+            heap = self._heap
+            now = self._now
+            sequence = self._sequence
+            push = heapq.heappush
+            for event in dq:
+                sequence += 1
+                push(heap, (now, sequence, event))
+            self._sequence = sequence
+            dq.clear()
+
+    def peek(self) -> float:
+        """Time of the earliest entry, or ``inf`` when empty."""
+        if self._dq:
+            return self._now
+        heap = self._heap
+        return heap[0][0] if heap else float("inf")
+
+    def pop(self) -> Tuple[float, "Event"]:
+        """Remove and return the earliest ``(when, event)`` pair."""
+        self.flush()
+        if not self._heap:
+            raise SimulationError("agenda is empty")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        return when, event
+
+    def pop_batch(self, out: list) -> int:
+        """Pop every entry of the earliest timestamp into ``out``.
+
+        Entries are appended as the full ``(when, sequence, event)``
+        triples in firing order, so an interrupted consumer can push
+        unprocessed entries straight back via ``heapq.heappush``.
+        Returns the batch size; raises on an empty agenda.
+        """
+        self.flush()
+        heap = self._heap
+        if not heap:
+            raise SimulationError("agenda is empty")
+        pop = heapq.heappop
+        entry = pop(heap)
+        when = entry[0]
+        self._now = when
+        out.append(entry)
+        count = 1
+        while heap and heap[0][0] == when:
+            out.append(pop(heap))
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._heap) + len(self._dq)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap) or bool(self._dq)
+
+
+class KernelHooks:
+    """Declarative stop condition the kernel polls inside its run loop.
+
+    ``counter`` is any sized container that grows as the simulation
+    progresses (in practice the metrics collector's completed-records
+    list) and ``target`` the length at which :meth:`Simulator.run`
+    returns.  The kernel checks ``len(counter) >= target`` right after
+    each event's callbacks — the same boundary the old outer
+    ``while len(records) < target: sim.step()`` loop observed, so
+    results are bit-identical while the per-event Python loop (and its
+    method call per event) disappears.
+    """
+
+    __slots__ = ("counter", "target")
+
+    def __init__(self, counter, target: int):
+        self.counter = counter
+        self.target = int(target)
+
+    def satisfied(self) -> bool:
+        """Whether the stop condition already holds."""
+        return len(self.counter) >= self.target
 
 
 class Event:
@@ -100,14 +250,22 @@ class Event:
         """Schedule this event to fire successfully after ``delay``."""
         if self._triggered:
             raise SimulationError("event already triggered")
+        if delay == 0.0:
+            # same-instant fast lane (the overwhelmingly common case):
+            # append straight onto the agenda's FIFO, exactly what
+            # Agenda.schedule would do for when == now
+            self._triggered = True
+            self._value = value
+            self._ok = True
+            self.sim._agenda._dq.append(self)
+            return self
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay!r}")
         self._triggered = True
         self._value = value
         self._ok = True
         sim = self.sim
-        sim._sequence = sequence = sim._sequence + 1
-        heapq.heappush(sim._agenda, (sim.now + delay, sequence, self))
+        sim._agenda.schedule(self, sim.now + delay)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -163,8 +321,8 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        # Inlined Event.__init__ + Simulator._schedule: timeouts are the
-        # most common event by far, so their construction is kept flat.
+        # Inlined Event.__init__: timeouts are the most common event by
+        # far, so their construction is kept flat.
         self.sim = sim
         self._cb = None
         self.callbacks = None
@@ -172,17 +330,37 @@ class Timeout(Event):
         self._ok = True
         self._triggered = True
         self._processed = False
-        sim._sequence = sequence = sim._sequence + 1
-        heapq.heappush(sim._agenda, (sim.now + delay, sequence, self))
+        sim._agenda.schedule(self, sim.now + delay)
 
 
-class AnyOf(Event):
+class _Composite(Event):
+    """Shared base of :class:`AnyOf` / :class:`AllOf`.
+
+    Once the composite's fate is decided it detaches its ``_on_fire``
+    from every member still pending, so losing members no longer pin
+    the composite alive — and plain timeouts among them become
+    eligible for the simulator's free list again.
+    """
+
+    __slots__ = ("_events",)
+
+    def _detach_pending(self, fired: Event) -> None:
+        callback = self._on_fire
+        for event in self._events:
+            if event is not fired and not event._processed:
+                event.remove_callback(callback)
+
+    def _on_fire(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Composite):
     """Fires when the first of ``events`` fires.
 
     The value is a dict mapping the fired event(s) to their values.
     """
 
-    __slots__ = ("_events",)
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -200,15 +378,16 @@ class AnyOf(Event):
             self.fail(event.value)
         else:
             self.succeed({event: event.value})
+        self._detach_pending(event)
 
 
-class AllOf(Event):
+class AllOf(_Composite):
     """Fires once all of ``events`` fired.
 
     The value is a dict mapping each event to its value.
     """
 
-    __slots__ = ("_events", "_remaining")
+    __slots__ = ("_remaining",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -225,6 +404,7 @@ class AllOf(Event):
             return
         if not event.ok:
             self.fail(event.value)
+            self._detach_pending(event)
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -241,7 +421,7 @@ class Process(Event):
     on each other.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_waiting_on", "_bound_resume", "name")
 
     def __init__(
         self,
@@ -254,10 +434,14 @@ class Process(Event):
             raise SimulationError("Process requires a generator")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # one bound method for the process's lifetime — registering a
+        # waiter is a slot load instead of a method-object allocation
+        self._bound_resume = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         bootstrap = Event(sim)
-        bootstrap._cb = self._resume
-        bootstrap.succeed()
+        bootstrap._cb = self._bound_resume
+        bootstrap._triggered = True  # inlined succeed(): fresh event
+        sim._agenda._dq.append(bootstrap)
 
     @property
     def is_alive(self) -> bool:
@@ -268,28 +452,30 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time.
 
         Interrupting a finished process is an error; interrupting a
-        process blocked on an event detaches it from that event.
+        process blocked on an event detaches it from that event.  The
+        cause travels as the wakeup event's failure value — no
+        per-interrupt closure is allocated.
         """
         if self._triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
         waiting_on = self._waiting_on
         if waiting_on is not None:
-            waiting_on.remove_callback(self._resume)
+            waiting_on.remove_callback(self._bound_resume)
         self._waiting_on = None
         wakeup = Event(self.sim)
-        wakeup._cb = lambda event: self._step(Interrupt(cause))
-        wakeup.succeed()
+        wakeup._cb = self._bound_resume
+        wakeup.fail(Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome (the only
+        stepping path: resumes, failures and interrupts all land here)."""
         self._waiting_on = None
-        self._step(event._value, throw=not event._ok)
-
-    def _step(self, value: Any, throw: bool = True) -> None:
+        value = event._value
         try:
-            if throw and isinstance(value, BaseException):
-                target = self._generator.throw(value)
-            else:
+            if event._ok or not isinstance(value, BaseException):
                 target = self._generator.send(value)
+            else:
+                target = self._generator.throw(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -307,9 +493,9 @@ class Process(Event):
         if target._processed:
             self._resume(target)
         elif target._cb is None:
-            target._cb = self._resume
+            target._cb = self._bound_resume
         else:
-            target.add_callback(self._resume)
+            target.add_callback(self._bound_resume)
 
 
 class Simulator:
@@ -335,8 +521,9 @@ class Simulator:
         process event.
     """
 
-    #: Upper bound on the timeout free list (see :meth:`timeout`).
-    TIMEOUT_POOL_LIMIT = 128
+    #: Upper bound on the timeout free list (see :meth:`timeout`); also
+    #: caps the plain-event free list behind :meth:`event`/:meth:`fired`.
+    TIMEOUT_POOL_LIMIT = 256
 
     #: ``sys.getrefcount`` result for an object referenced only by one
     #: local variable (the argument slot accounts for the rest); a fired
@@ -347,24 +534,68 @@ class Simulator:
     def __init__(self, strict: bool = True):
         self.now: float = 0.0
         self.strict = strict
-        self._agenda: list = []
-        self._sequence = 0
+        self._agenda = Agenda()
+        # The same-instant fast lane, pre-bound once.  Components that
+        # complete events on their hot paths (the CPU pool, disks, WAL,
+        # front-end) cache this instead of reaching into the agenda
+        # themselves, so the kernel keeps a single owner of the lane:
+        # ``_fire_now(event)`` appends an event the caller has already
+        # marked triggered.  It skips succeed()'s already-triggered
+        # guard — callers must own the event's only completion site.
+        self._fire_now = self._agenda._dq.append
         self._timeout_pool: list = []
+        self._event_pool: list = []  # recycled plain Events (see run())
         #: Timeout events served from the free list (introspection/tests).
         self.timeout_reuses = 0
 
     # -- event factories ------------------------------------------------
 
     def event(self) -> Event:
-        """Create a fresh pending event."""
+        """Create a fresh pending event.
+
+        Serves from the plain-event free list when possible; recycled
+        instances are indistinguishable from fresh ones (the run loop
+        only recycles events proven unreferenced via the refcount).
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = None
+            event._ok = True
+            event._triggered = False
+            event._processed = False
+            return event
         return Event(self)
+
+    def fired(self, value: Any = None) -> Event:
+        """An event already scheduled to fire at the current instant.
+
+        Equivalent to ``event().succeed(value)`` in one hop — the
+        shape every zero-wait grant (an uncontended lock, an empty
+        admission check) hands back to its waiter.  Serves from the
+        plain-event free list the run loop maintains (same
+        refcount-proof recycling as timeouts).
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = value
+            event._ok = True
+            event._triggered = True
+            event._processed = False
+        else:
+            event = Event(self)
+            event._triggered = True
+            event._value = value
+        self._agenda._dq.append(event)  # same-instant fast lane
+        return event
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` time units from now.
 
         Serves from the pre-allocated free list of recycled timeouts
         when possible; recycled instances are indistinguishable from
-        fresh ones (see :meth:`step` for the safety argument).
+        fresh ones (see :meth:`run` for the safety argument).
         """
         pool = self._timeout_pool
         if pool:
@@ -375,8 +606,7 @@ class Simulator:
             event._ok = True
             event._triggered = True
             event._processed = False
-            self._sequence = sequence = self._sequence + 1
-            heapq.heappush(self._agenda, (self.now + delay, sequence, event))
+            self._agenda.schedule(event, self.now + delay)
             self.timeout_reuses += 1
             return event
         return Timeout(self, delay, value)
@@ -390,7 +620,7 @@ class Simulator:
         return AnyOf(self, events)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
-        """An event firing when every one of ``events`` fired."""
+        """An event firing once every one of ``events`` fired."""
         return AllOf(self, events)
 
     # -- scheduling -----------------------------------------------------
@@ -398,24 +628,19 @@ class Simulator:
     def _schedule(self, event: Event, delay: float) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay!r}")
-        self._sequence += 1
-        heapq.heappush(self._agenda, (self.now + delay, self._sequence, event))
+        self._agenda.schedule(event, self.now + delay)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._agenda[0][0] if self._agenda else float("inf")
+        return self._agenda.peek()
 
     def step(self) -> None:
         """Process the single next event on the agenda.
 
-        After its callbacks ran, a plain :class:`Timeout` that nothing
-        else references (verified via the CPython refcount, so events
-        held by user code are never touched) is recycled into the
-        timeout free list.
+        The one-at-a-time compatibility face of the batched run loop —
+        useful for tests and debugging; :meth:`run` does not call it.
         """
-        if not self._agenda:
-            raise SimulationError("agenda is empty")
-        when, _seq, event = heapq.heappop(self._agenda)
+        when, event = self._agenda.pop()
         self.now = when
         event._processed = True
         callback = event._cb
@@ -443,22 +668,162 @@ class Simulator:
             event._value = None
             self._timeout_pool.append(event)
 
-    def run(self, until: Optional[float] = None, stop: Optional[Event] = None) -> Any:
-        """Run until the agenda drains, ``until`` is reached, or ``stop`` fires.
+    def run(
+        self,
+        until: Optional[float] = None,
+        stop: Optional[Event] = None,
+        hooks: Optional[KernelHooks] = None,
+    ) -> Any:
+        """Drain the agenda until a stop condition holds.
 
-        Returns the value of ``stop`` when given and fired.
+        Stops when the agenda empties, virtual time would pass
+        ``until``, the ``stop`` event fires, or ``hooks`` (a
+        :class:`KernelHooks` count condition) is satisfied.  Returns
+        the value of ``stop`` when given and fired.
+
+        This is the kernel hot loop: one stack frame, every per-event
+        lookup bound to a local.  Same-instant runs drain straight off
+        the agenda's FIFO (the inlined form of
+        :meth:`Agenda.pop_batch` — no entry tuples, no heap traffic);
+        heap pops only happen when virtual time actually advances.
+        After an event's callbacks ran, a plain :class:`Timeout` that
+        nothing else references (verified via the CPython refcount, so
+        events held by user code are never touched) is recycled into
+        the timeout free list.  Every exit folds the pending FIFO back
+        into the heap, so the agenda always reflects exactly the events
+        that have not fired.
         """
-        if until is not None and until < self.now:
-            raise SimulationError(f"until={until!r} lies in the past (now={self.now!r})")
-        while self._agenda:
-            if stop is not None and stop.processed:
-                return stop.value
-            if until is not None and self.peek() > until:
-                self.now = until
-                return stop.value if stop is not None and stop.processed else None
-            self.step()
+        now = self.now
+        if until is not None and until < now:
+            raise SimulationError(f"until={until!r} lies in the past (now={now!r})")
+        if stop is not None and stop._processed:
+            return stop._value
+        # locals-bound hot state
+        agenda = self._agenda
+        heap = agenda._heap
+        dq = agenda._dq
+        popleft = dq.popleft
+        pop = heapq.heappop
+        until_t = float("inf") if until is None else until
+        counter = target = None
+        if hooks is not None:
+            counter = hooks.counter
+            target = hooks.target
+            if len(counter) >= target:
+                return None
+        pool = self._timeout_pool
+        pool_limit = self.TIMEOUT_POOL_LIMIT
+        free_threshold = self._FREE_REFCOUNT + 1
+        getrefcount = sys.getrefcount
+        timeout_class = Timeout
+        now_t = agenda._now
+        event_class = Event
+        event_pool = self._event_pool
+        try:
+            while True:
+                # -- phase 1: heap entries at the current instant.
+                #    These predate every FIFO entry (scheduling at the
+                #    running instant always lands on the FIFO), so they
+                #    go first; the heap cannot regain entries at now_t
+                #    while the instant is being processed. ------------
+                while heap and heap[0][0] == now_t:
+                    event = pop(heap)[2]
+                    event._processed = True
+                    callback = event._cb
+                    if callback is not None:
+                        event._cb = None
+                        callbacks = event.callbacks
+                        if callbacks is None:
+                            callback(event)
+                        else:
+                            event.callbacks = None
+                            callback(event)
+                            for callback in callbacks:
+                                callback(event)
+                    else:
+                        callbacks = event.callbacks
+                        if callbacks is not None:
+                            event.callbacks = None
+                            for callback in callbacks:
+                                callback(event)
+                    if event is stop:
+                        return event._value
+                    if (
+                        event.__class__ is timeout_class
+                        and len(pool) < pool_limit
+                        and getrefcount(event) == free_threshold
+                    ):
+                        event._value = None
+                        pool.append(event)
+                    elif (
+                        event.__class__ is event_class
+                        and len(event_pool) < pool_limit
+                        and getrefcount(event) == free_threshold
+                    ):
+                        event._value = None
+                        event_pool.append(event)
+                    if counter is not None and len(counter) >= target:
+                        return None
+                # -- phase 2: the same-instant FIFO (may keep growing
+                #    while it drains; nothing here touches the heap's
+                #    now_t run, which is already empty) ---------------
+                while dq:
+                    event = popleft()
+                    event._processed = True
+                    callback = event._cb
+                    if callback is not None:
+                        event._cb = None
+                        callbacks = event.callbacks
+                        if callbacks is None:
+                            callback(event)
+                        else:
+                            event.callbacks = None
+                            callback(event)
+                            for callback in callbacks:
+                                callback(event)
+                    else:
+                        callbacks = event.callbacks
+                        if callbacks is not None:
+                            event.callbacks = None
+                            for callback in callbacks:
+                                callback(event)
+                    if event is stop:
+                        return event._value
+                    if (
+                        event.__class__ is event_class
+                        and len(event_pool) < pool_limit
+                        and getrefcount(event) == free_threshold
+                    ):
+                        event._value = None
+                        event_pool.append(event)
+                    elif (
+                        event.__class__ is timeout_class
+                        and len(pool) < pool_limit
+                        and getrefcount(event) == free_threshold
+                    ):
+                        event._value = None
+                        pool.append(event)
+                    if counter is not None and len(counter) >= target:
+                        return None
+                # -- phase 3: advance virtual time --------------------
+                if heap:
+                    when = heap[0][0]
+                    if when > until_t:
+                        self.now = until
+                        agenda._now = until
+                        return None
+                    now_t = when
+                    self.now = when
+                    agenda._now = when
+                else:
+                    break
+        finally:
+            # fold any pending same-instant entries back into the heap
+            # so the agenda is self-contained between runs
+            agenda.flush()
         if until is not None:
             self.now = until
-        if stop is not None and stop.processed:
-            return stop.value
+            agenda._now = until
+        if stop is not None and stop._processed:
+            return stop._value
         return None

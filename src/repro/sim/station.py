@@ -29,7 +29,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence
 
-from repro.sim.distributions import Distribution
+from repro.sim.distributions import BlockSampler, Distribution
 from repro.sim.engine import Event, Simulator
 
 
@@ -82,9 +82,7 @@ class Station:
 
     def acquire(self, *args, **kwargs) -> Event:
         """Admission phase; the default grants immediately."""
-        event = Event(self.sim)
-        event.succeed()
-        return event
+        return self.sim.fired()
 
     def serve(self, demand: float, priority: int = 0, weight: float = 1.0) -> Event:
         """Timed service of ``demand``; fires when served."""
@@ -145,14 +143,18 @@ class DelayStation(Station):
         super().__init__(sim, name)
         self.delay = delay
         self._rng = rng
+        # the delay stream has one consumer, so it is block-sampled
+        self._sample = (
+            BlockSampler(delay, rng) if delay is not None and rng is not None else None
+        )
         self._busy_time = 0.0
 
     def serve(self, demand: float = 0.0, priority: int = 0, weight: float = 1.0) -> Event:
         """Delay for ``demand`` seconds, or a sampled delay when 0."""
         if demand <= 0.0 and self.delay is not None:
-            if self._rng is None:
+            if self._sample is None:
                 raise ValueError(f"station {self.name!r} has no rng to sample with")
-            demand = self.delay.sample(self._rng)
+            demand = self._sample()
         if demand < 0:
             raise ValueError(f"delay must be non-negative, got {demand!r}")
         self._busy_time += demand

@@ -18,7 +18,7 @@ import random
 from typing import List, Optional, Tuple
 
 from repro.dbms.transaction import Priority, Transaction
-from repro.sim.distributions import Distribution
+from repro.sim.distributions import Distribution, Exponential
 
 
 @dataclasses.dataclass(frozen=True)
@@ -108,6 +108,12 @@ class WorkloadSpec:
             raise ValueError(f"db_mb must be positive, got {self.db_mb!r}")
         if self.hot_set_size < 1 or self.item_space < 1:
             raise ValueError("hot_set_size and item_space must be positive")
+        # Sampling hot-path constants (frozen dataclass, so set via
+        # object.__setattr__; not dataclass fields, so fingerprints and
+        # equality are untouched).
+        object.__setattr__(self, "_total_weight", sum(t.weight for t in self.types))
+        object.__setattr__(self, "_hot_bits", self.hot_set_size.bit_length())
+        object.__setattr__(self, "_item_bits", self.item_space.bit_length())
 
     @property
     def db_pages(self) -> int:
@@ -117,11 +123,11 @@ class WorkloadSpec:
     @property
     def total_weight(self) -> float:
         """Sum of type weights."""
-        return sum(t.weight for t in self.types)
+        return self._total_weight
 
     def choose_type(self, rng: random.Random) -> TransactionType:
         """Draw a transaction type according to the mix weights."""
-        target = rng.random() * self.total_weight
+        target = rng.random() * self._total_weight
         acc = 0.0
         for tx_type in self.types:
             acc += tx_type.weight
@@ -138,27 +144,66 @@ class WorkloadSpec:
     ) -> Transaction:
         """Generate one transaction instance with sampled demands."""
         tx_type = self.choose_type(rng)
-        cpu = tx_type.cpu_demand.sample(rng)
-        pages = max(0, round(tx_type.page_accesses.sample(rng)))
-        locks: List[Tuple[int, bool]] = []
-        for _ in range(tx_type.hot_locks):
-            locks.append((rng.randrange(self.hot_set_size), True))
-        for _ in range(tx_type.exclusive_locks):
-            locks.append((self.hot_set_size + rng.randrange(self.item_space), True))
-        for _ in range(tx_type.shared_locks):
-            # shared reads also touch the hot rows part of the time, as
-            # TPC-C's reads of warehouse/district rows do
-            if rng.random() < 0.3:
-                locks.append((rng.randrange(self.hot_set_size), False))
-            else:
-                locks.append((self.hot_set_size + rng.randrange(self.item_space), False))
-        # Acquire in item order (deduplicated, strongest mode kept):
-        # real OLTP transactions touch tables in a fixed statement
-        # order, which is what keeps production deadlock rates low.
+        # demand draws, with the exponential case (nearly every Table 2
+        # workload) devirtualized to a direct expovariate call
+        demand = tx_type.cpu_demand
+        if demand.__class__ is Exponential:
+            cpu = rng.expovariate(1.0 / demand._mean)
+        else:
+            cpu = demand.sample(rng)
+        pages_dist = tx_type.page_accesses
+        if pages_dist.__class__ is Exponential:
+            pages = max(0, round(rng.expovariate(1.0 / pages_dist._mean)))
+        else:
+            pages = max(0, round(pages_dist.sample(rng)))
+        # Item draws replicate random.Random.randrange's rejection loop
+        # verbatim (k = n.bit_length(); draw getrandbits(k) until < n),
+        # consuming the stream bit-for-bit identically while skipping
+        # two Python frames per draw — lock-item selection is the
+        # hottest RNG path in the simulator.
+        getrandbits = rng.getrandbits
+        hot_set = self.hot_set_size
+        hot_bits = self._hot_bits
+        item_space = self.item_space
+        item_bits = self._item_bits
+        # Deduplicate as we draw (strongest mode kept): an exclusive
+        # draw forces the mode to True, a shared draw only registers an
+        # absent item — exactly `strongest[item] = strongest.get(item,
+        # False) or exclusive` over the draw sequence, without building
+        # the intermediate (item, mode) list.
         strongest: dict = {}
-        for item, exclusive in locks:
-            strongest[item] = strongest.get(item, False) or exclusive
-        locks = sorted(strongest.items())
+        for _ in range(tx_type.hot_locks):
+            r = getrandbits(hot_bits)
+            while r >= hot_set:
+                r = getrandbits(hot_bits)
+            strongest[r] = True
+        for _ in range(tx_type.exclusive_locks):
+            r = getrandbits(item_bits)
+            while r >= item_space:
+                r = getrandbits(item_bits)
+            strongest[hot_set + r] = True
+        if tx_type.shared_locks:
+            random = rng.random
+            for _ in range(tx_type.shared_locks):
+                # shared reads also touch the hot rows part of the time,
+                # as TPC-C's reads of warehouse/district rows do
+                if random() < 0.3:
+                    r = getrandbits(hot_bits)
+                    while r >= hot_set:
+                        r = getrandbits(hot_bits)
+                    if r not in strongest:
+                        strongest[r] = False
+                else:
+                    r = getrandbits(item_bits)
+                    while r >= item_space:
+                        r = getrandbits(item_bits)
+                    item = hot_set + r
+                    if item not in strongest:
+                        strongest[item] = False
+        # Acquire in item order: real OLTP transactions touch tables in
+        # a fixed statement order, which is what keeps production
+        # deadlock rates low.
+        locks: List[Tuple[int, bool]] = sorted(strongest.items())
         if self.lock_disorder > 0 and len(locks) > 1:
             if rng.random() < self.lock_disorder:
                 rng.shuffle(locks)

@@ -179,6 +179,8 @@ def test_cpu_weights_prioritize_high():
 
 def test_lock_schedule_spreads_locks():
     schedule = DatabaseEngine._lock_schedule(4, 8)
-    assert schedule == [0, 2, 4, 6]
-    assert DatabaseEngine._lock_schedule(0, 5) == []
-    assert DatabaseEngine._lock_schedule(3, 1) == [0, 0, 0]
+    assert tuple(schedule) == (0, 2, 4, 6)
+    assert tuple(DatabaseEngine._lock_schedule(0, 5)) == ()
+    assert tuple(DatabaseEngine._lock_schedule(3, 1)) == (0, 0, 0)
+    # memoized: the same shape returns the same immutable schedule
+    assert DatabaseEngine._lock_schedule(4, 8) is schedule
