@@ -15,13 +15,15 @@ CACHE_DIR   ?= .repro-cache
 # bench gets its own cache so its cold pass stays cold even after
 # `make reproduce` warmed the main cache
 BENCH_CACHE ?= .repro-bench-cache
-# coverage floor for the modules the cluster PR introduced (what CI
-# enforces); the rest of the tree is reported, not gated
+# coverage floor for the modules the cluster + scenario PRs introduced
+# (what CI enforces); the rest of the tree is reported, not gated
 COV_MIN     ?= 90
-COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station
+COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station --cov=repro.core.scenario
+# figure grids the scenario round-trip check walks
+SCENARIO_GRIDS ?= 2 3 4 5 smoke sh po
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench cluster-bench kernel-bench profile reproduce smoke clean
+.PHONY: test lint bench cluster-bench kernel-bench profile reproduce smoke scenarios clean
 
 test:
 	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
@@ -72,6 +74,23 @@ profile:
 	$(PYTHON) -c "import pstats; pstats.Stats('profile.out').sort_stats('tottime').print_stats(25)"
 	rm -rf .profile-cache
 
+# Scenario API round-trip: for every figure grid, `scenario show`
+# piped back through `scenario fingerprint` must produce exactly the
+# digests computed directly — i.e. the JSON encoding is canonical and
+# loses nothing the cache key depends on (what CI runs).
+scenarios:
+	@for g in $(SCENARIO_GRIDS); do \
+		$(PYTHON) -m repro.experiments scenario show --grid $$g \
+			| $(PYTHON) -m repro.experiments scenario fingerprint - \
+			> .scenario-rt-a.json; \
+		$(PYTHON) -m repro.experiments scenario fingerprint --grid $$g \
+			> .scenario-rt-b.json; \
+		diff -q .scenario-rt-a.json .scenario-rt-b.json > /dev/null \
+			|| { echo "scenario round-trip MISMATCH for grid $$g"; exit 1; }; \
+		echo "grid $$g: scenario round-trip fingerprints stable"; \
+	done
+	@rm -f .scenario-rt-a.json .scenario-rt-b.json
+
 smoke:
 	$(PYTHON) -m repro.experiments 4 --jobs $(JOBS) --cache-dir $(CACHE_DIR)
 
@@ -80,6 +99,7 @@ reproduce:
 
 clean:
 	rm -rf $(CACHE_DIR) $(BENCH_CACHE) .kernel-bench-cache .cluster-bench-cache .profile-cache src/*.egg-info
+	rm -f .scenario-rt-a.json .scenario-rt-b.json
 	rm -f BENCH_smoke.json BENCH_figure2.json BENCH_sh.json BENCH_profile.json profile.out
 	# BENCH_seed.json / BENCH_pr4*.json are checked in (perf trajectory)
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,40 +1,56 @@
-"""Watch the MPL controller converge (paper §4.3).
+"""Watch the MPL controller converge (paper §4.3) — Scenario API.
 
-Builds the balanced CPU+I/O setup on the big machine (setup 12, where
-the right MPL is least obvious), jump-starts the controller from the
-queueing models, and prints every observation/reaction iteration.
+The whole experiment is one declarative spec: a `FeedbackMpl` control
+spec on the balanced CPU+I/O setup (setup 12, where the right MPL is
+least obvious).  The *system* measures the no-MPL baseline, jump-starts
+from the queueing models (`initial_mpl=None`), and runs the feedback
+loop — no controller construction here; the spec is the experiment,
+and the same JSON (printed below) runs unchanged via
+
+    python -m repro.experiments scenario run spec.json
 
 Run with:  python examples/mpl_autotuning.py
 """
 
-from repro import SystemConfig, Thresholds, get_setup
-from repro.core.tuner import MplTuner
+from repro.core.scenario import (
+    FeedbackMpl,
+    MeasurementSpec,
+    ScenarioSpec,
+    WorkloadRef,
+    execute_scenario,
+)
+from repro import get_setup
+
+SETUP = 12  # W_CPU+IO-inventory on 2 CPUs + 4 disks
 
 
 def main() -> None:
-    setup = get_setup(12)  # W_CPU+IO-inventory on 2 CPUs + 4 disks
-    print(f"Tuning {setup.describe()}")
+    print(f"Tuning {get_setup(SETUP).describe()}")
     print("DBA thresholds: <= 5% throughput loss, <= 30% mean-RT increase")
-    print()
 
-    config = SystemConfig(
-        workload=setup.workload,
-        hardware=setup.hardware,
-        isolation=setup.isolation,
+    scenario = ScenarioSpec(
+        workload=WorkloadRef(setup_id=SETUP),
+        control=FeedbackMpl(
+            max_throughput_loss=0.05,
+            max_response_time_increase=0.30,
+            initial_mpl=None,  # jump-start from the queueing models
+            window=100,
+            baseline_transactions=1200,
+        ),
+        measurement=MeasurementSpec(transactions=600),
         seed=21,
     )
-    tuner = MplTuner(config, thresholds=Thresholds(), baseline_transactions=1200)
-    result = tuner.tune()
-
-    print(f"baseline (no MPL): {result.baseline.throughput:.1f} tx/s, "
-          f"{result.baseline.mean_response_time:.2f} s mean RT")
-    print(f"model jump-start : throughput model -> MPL {result.model_mpl_throughput}, "
-          f"response-time model -> MPL {result.model_mpl_response_time}")
+    print("\nscenario JSON (feed this to `scenario run`):")
+    print(scenario.to_json(indent=2))
     print()
+
+    outcome = execute_scenario(scenario)
+    report = outcome.control
+
     print(f"{'iter':>4} | {'MPL':>4} | {'window':>6} | {'tput':>7} | "
           f"{'loss':>6} | {'RT+':>6} | feasible")
     print("-" * 58)
-    for index, obs in enumerate(result.report.trajectory, start=1):
+    for index, obs in enumerate(report.trajectory, start=1):
         print(
             f"{index:>4} | {obs.mpl:>4} | {obs.completed:>6} | "
             f"{obs.throughput:5.1f}/s | {obs.throughput_loss:5.1%} | "
@@ -42,12 +58,16 @@ def main() -> None:
         )
     print("-" * 58)
     print(
-        f"converged={result.report.converged} after "
-        f"{result.report.iterations} iterations; final MPL = {result.final_mpl}"
+        f"converged={report.converged} after {report.iterations} iterations; "
+        f"final MPL = {report.final_mpl}"
+    )
+    print(
+        f"post-tuning window: {outcome.result.throughput:.1f} tx/s, "
+        f"{outcome.result.mean_response_time:.2f} s mean RT"
     )
     print()
     print("Only ~%d of the 100 clients ever run inside the DBMS; the rest" %
-          result.final_mpl)
+          report.final_mpl)
     print("wait in the external queue where they can be scheduled freely.")
 
 

@@ -1,50 +1,62 @@
-"""Scale the external-scheduling result out to a sharded cluster.
+"""Scale the external-scheduling result out to a sharded cluster —
+Scenario API.
 
-Builds a 4-shard cluster from one base config: partly-open traffic
-hits a router that dispatches each transaction to a shard, and the
-global MPL is split across the per-shard external schedulers.  The
-demo compares the four routing policies at the same offered load and
-then re-splits the MPL on the fly, the way a cluster operator (or the
+One declarative spec per cell: partly-open traffic × a 4-shard
+topology × a static global MPL.  The demo sweeps the four routing
+policies by swapping only the `TopologySpec`, then drops down to the
+live system (`build_system` accepts a scenario directly) to re-split
+the global MPL on the fly, the way a cluster operator (or the
 per-shard feedback controllers) would.
 
 Run:  PYTHONPATH=src python examples/sharded_cluster.py
 """
 
+import dataclasses
+
 from repro.core.arrivals import PartlyOpenArrivals
-from repro.core.cluster import ClusterConfig, ClusteredSystem
-from repro.core.system import SystemConfig
+from repro.core.cluster import build_system
+from repro.core.scenario import (
+    MeasurementSpec,
+    ScenarioSpec,
+    StaticMpl,
+    TopologySpec,
+    WorkloadRef,
+    execute_scenario,
+)
 from repro.sim.station import ROUTING_POLICIES
-from repro.workloads.setups import get_setup
 
 SHARDS = 4
 PER_SHARD_RATE = 40.0  # tx/s offered per shard (~60% of capacity)
 
-setup = get_setup(1)
-base = SystemConfig(
-    workload=setup.workload,
-    hardware=setup.hardware,
-    isolation=setup.isolation,
-    mpl=8 * SHARDS,  # global MPL, split across the shards
-    seed=11,
+base = ScenarioSpec(
+    workload=WorkloadRef(setup_id=1),
     arrival=PartlyOpenArrivals.for_load(
         PER_SHARD_RATE * SHARDS, 4.0, think_time_s=0.1
     ),
+    topology=TopologySpec(shards=SHARDS),
+    control=StaticMpl(8 * SHARDS),  # global MPL, split across the shards
+    measurement=MeasurementSpec(transactions=400),
+    seed=11,
 )
 
 print(f"== {SHARDS}-shard cluster, {PER_SHARD_RATE * SHARDS:.0f} tx/s offered ==")
 for routing in ROUTING_POLICIES:
-    config = ClusterConfig.scale_out(base, SHARDS, routing=routing)
-    system = ClusteredSystem(config)
-    result = system.run(transactions=400)
-    spread = system.router.routed_by_shard
+    scenario = dataclasses.replace(
+        base, topology=TopologySpec(shards=SHARDS, routing=routing)
+    )
+    outcome = execute_scenario(scenario)
     print(
-        f"{routing:16s} throughput {result.throughput:6.1f} tx/s   "
-        f"mean RT {result.mean_response_time * 1000:6.1f} ms   "
-        f"routed per shard {spread}"
+        f"{routing:16s} throughput {outcome.result.throughput:6.1f} tx/s   "
+        f"mean RT {outcome.result.mean_response_time * 1000:6.1f} ms   "
+        f"fingerprint {outcome.fingerprint[:12]}"
     )
 
 print("\n== re-splitting the global MPL on a live cluster ==")
-system = ClusteredSystem(ClusterConfig.scale_out(base, SHARDS, routing="least_in_flight"))
+system = build_system(
+    dataclasses.replace(
+        base, topology=TopologySpec(shards=SHARDS, routing="least_in_flight")
+    )
+)
 system.run_transactions(200)
 for global_mpl in (8, 16, 48):
     split = system.scheduler.set_global_mpl(global_mpl)

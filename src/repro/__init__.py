@@ -28,8 +28,19 @@ Quickstart::
     print(result.throughput, result.mean_response_time)
 """
 
-from repro.core.controller import MplController, Thresholds
+from repro.core.controller import MplController, PerClassSloController, Thresholds
 from repro.core.frontend import ExternalScheduler
+from repro.core.scenario import (
+    FeedbackMpl,
+    MeasurementSpec,
+    PerClassSlo,
+    ScenarioOutcome,
+    ScenarioSpec,
+    StaticMpl,
+    TopologySpec,
+    WorkloadRef,
+    execute_scenario,
+)
 from repro.core.system import RunResult, SimulatedSystem, SystemConfig
 from repro.core.tuner import MplTuner, TuningResult
 from repro.dbms.config import HardwareConfig, InternalPolicy, IsolationLevel
@@ -45,26 +56,36 @@ __version__ = "1.0.0"
 __all__ = [
     "DatabaseEngine",
     "ExternalScheduler",
+    "FeedbackMpl",
     "HardwareConfig",
     "InternalPolicy",
     "IsolationLevel",
+    "MeasurementSpec",
     "MplController",
     "MplPsQueue",
     "MplTuner",
+    "PerClassSlo",
+    "PerClassSloController",
     "Priority",
     "RunResult",
     "SETUPS",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "StaticMpl",
     "Setup",
     "SimulatedSystem",
     "SystemConfig",
     "Thresholds",
+    "TopologySpec",
     "ThroughputModel",
     "Transaction",
     "TransactionType",
     "TuningResult",
     "WORKLOADS",
+    "WorkloadRef",
     "WorkloadSpec",
     "__version__",
+    "execute_scenario",
     "get_setup",
     "get_workload",
 ]

@@ -30,7 +30,7 @@ import dataclasses
 import itertools
 import math
 import random
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.core.frontend import ExternalScheduler
 from repro.dbms.transaction import Priority, Transaction
@@ -281,6 +281,54 @@ class ModulatedOpenSource(ArrivalProcess):
                 generated += 1
 
 
+class TraceReplay(ArrivalProcess):
+    """Replays a recorded arrival-timestamp stream into the front-end.
+
+    Arrival *times* come verbatim from the trace; the transaction each
+    arrival carries is sampled from the workload (which may itself be a
+    :func:`~repro.workloads.traces.trace_workload` wrapping the same
+    trace's demand distribution).  With ``loop=True`` the stream wraps
+    around, shifted by the trace's span, so long measurements never
+    drain the simulation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        frontend: ExternalScheduler,
+        workload: WorkloadSpec,
+        arrival_times: Sequence[float],
+        rng: random.Random,
+        priority_assigner: Optional[PriorityAssigner] = None,
+        loop: bool = False,
+    ):
+        if not arrival_times:
+            raise ValueError("trace replay needs at least one arrival time")
+        if any(b < a for a, b in zip(arrival_times, arrival_times[1:])):
+            raise ValueError("trace arrival times must be non-decreasing")
+        super().__init__(sim, frontend, workload, rng, priority_assigner)
+        self.arrival_times = list(arrival_times)
+        self.loop = loop
+        self.replayed = 0
+
+    def _launch(self) -> None:
+        self.sim.process(self._arrivals(), name="trace-replay")
+
+    def _arrivals(self):
+        offset = 0.0
+        span = self.arrival_times[-1]
+        while True:
+            for arrival_time in self.arrival_times:
+                delay = offset + arrival_time - self.sim.now
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+                self.frontend.submit(self._sample())
+                self.replayed += 1
+            if not self.loop:
+                return
+            offset += span
+
+
 #: Backwards-compatible name: the seed code called this OpenSource.
 OpenSource = OpenPoisson
 
@@ -528,4 +576,56 @@ class ModulatedArrivals(ArrivalSpec):
             rate_function=self.rate_function,
             rng=streams.stream("arrivals"),
             priority_assigner=priority_assigner,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceArrivals(ArrivalSpec):
+    """Replay a named :mod:`repro.workloads.traces` timestamp stream.
+
+    The spec names the trace (plus the generation parameters the
+    factory accepts) rather than embedding it; ``digest`` — the
+    trace's content hash — is computed at construction and hashes into
+    the scenario fingerprint, so a regenerated-but-identical trace
+    keeps its cache entries while *any* change to the replayed stream
+    invalidates them.  ``time_scale`` stretches (>1) or compresses
+    (<1) the replayed inter-arrival times; ``loop`` wraps the stream
+    so measurements longer than the trace never drain.
+    """
+
+    trace_name: str
+    transactions: Optional[int] = None
+    seed: Optional[int] = None
+    time_scale: float = 1.0
+    loop: bool = False
+    #: Content hash of the replayed trace — derived, never passed.
+    digest: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time_scale <= 0:
+            raise ValueError(
+                f"time_scale must be positive, got {self.time_scale!r}"
+            )
+        if self.transactions is not None and self.transactions < 1:
+            raise ValueError(
+                f"transactions must be >= 1, got {self.transactions!r}"
+            )
+        object.__setattr__(self, "digest", self._trace().digest)
+
+    def _trace(self):
+        from repro.workloads.traces import get_trace
+
+        return get_trace(self.trace_name, self.transactions, self.seed)
+
+    def build(self, sim, frontend, workload, streams, priority_assigner=None):
+        scale = self.time_scale
+        times = [r.arrival_time * scale for r in self._trace().records]
+        return TraceReplay(
+            sim,
+            frontend,
+            workload,
+            arrival_times=times,
+            rng=streams.stream("arrivals"),
+            priority_assigner=priority_assigner,
+            loop=self.loop,
         )

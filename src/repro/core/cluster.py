@@ -477,13 +477,24 @@ AnyConfig = Union[SystemConfig, ClusterConfig]
 
 
 def build_system(config: AnyConfig) -> MeasuredSystem:
-    """The runnable system for a config of either topology."""
+    """The runnable system for a config of either topology.
+
+    Also dispatches on a :class:`~repro.core.scenario.ScenarioSpec`
+    (building the config it describes), so every construction path —
+    legacy configs, clusters, scenarios — funnels through one door.
+    """
     if isinstance(config, ClusterConfig):
         if len(config.shards) == 1:
             # bit-identical to the plain engine, and cheaper to build
             return SimulatedSystem(config.shards[0])
         return ClusteredSystem(config)
-    return SimulatedSystem(config)
+    if isinstance(config, SystemConfig):
+        return SimulatedSystem(config)
+    from repro.core.scenario import ScenarioSpec
+
+    if isinstance(config, ScenarioSpec):
+        return build_system(config.build_config())
+    raise TypeError(f"cannot build a system from {type(config).__name__}")
 
 
 def run_cluster(config: ClusterConfig, transactions: int = 2000) -> RunResult:

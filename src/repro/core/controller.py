@@ -322,3 +322,180 @@ class MplController:
     def _lowest_known_feasible(self, fallback: int) -> int:
         feasible = [m for m, ok in self._feasibility.items() if ok]
         return min(feasible) if feasible else fallback
+
+
+# -- per-class SLO control -----------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SloObservation:
+    """One observation window of the per-class SLO loop."""
+
+    mpl: int
+    completed: int
+    high_count: int
+    high_p95: float
+    low_throughput: float
+    feasible: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class SloReport:
+    """Outcome of a per-class SLO tuning session."""
+
+    final_mpl: int
+    iterations: int
+    converged: bool
+    trajectory: List[SloObservation]
+
+
+class PerClassSloController:
+    """Hold HIGH's p95 under a target while maximizing LOW throughput.
+
+    The dual of :class:`MplController`: there the MPL steps *up* until
+    throughput/response penalties vanish (lowest feasible MPL); here
+    the DBA's constraint is a latency SLO on the HIGH class, and the
+    MPL is the lever — a lower MPL means fewer transactions competing
+    inside the DBMS, so prioritized HIGH work finishes faster, at the
+    cost of LOW throughput.  The loop therefore searches for the
+    *highest* MPL whose windowed HIGH p95 still meets the target:
+    feasible windows probe upward (reclaiming LOW throughput),
+    infeasible ones step down, and — like the paper's loop — the
+    bracket is refined geometrically and declared converged once the
+    controller sits at a feasible MPL whose immediate successor is
+    known infeasible.
+
+    Requires a running system whose workload carries HIGH-priority
+    transactions (e.g. ``high_priority_fraction > 0`` with the
+    ``priority`` external queue policy).
+    """
+
+    #: Windows are extended until they contain at least this many
+    #: HIGH-class completions — a p95 over fewer samples is noise.
+    MIN_HIGH_SAMPLES = 20
+    #: Upper bound on window extensions per observation.
+    MAX_EXTENSIONS = 6
+
+    def __init__(
+        self,
+        system: SimulatedSystem,
+        target_p95_s: float,
+        initial_mpl: int,
+        window: int = 150,
+        step: int = 1,
+        max_mpl: int = 128,
+        max_iterations: int = 30,
+    ):
+        if target_p95_s <= 0:
+            raise ValueError(f"target_p95_s must be positive, got {target_p95_s!r}")
+        if initial_mpl < 1:
+            raise ValueError(f"initial_mpl must be >= 1, got {initial_mpl!r}")
+        if max_mpl < initial_mpl:
+            raise ValueError(
+                f"max_mpl {max_mpl!r} must be >= initial_mpl {initial_mpl!r}"
+            )
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window!r}")
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step!r}")
+        self.system = system
+        self.target_p95_s = target_p95_s
+        self.initial_mpl = initial_mpl
+        self.window = window
+        self.step = step
+        self.max_mpl = max_mpl
+        self.max_iterations = max_iterations
+
+    def _observe(self, mpl: int) -> SloObservation:
+        from repro.dbms.transaction import Priority
+
+        records = self.system.run_transactions(self.window)
+        extensions = 0
+        while (
+            extensions < self.MAX_EXTENSIONS
+            and sum(1 for r in records if r.priority == Priority.HIGH)
+            < self.MIN_HIGH_SAMPLES
+        ):
+            extensions += 1
+            records = records + self.system.run_transactions(self.window)
+        high = [r.response_time for r in records if r.priority == Priority.HIGH]
+        low_count = len(records) - len(high)
+        elapsed = records[-1].completion_time - records[0].completion_time
+        low_throughput = low_count / elapsed if elapsed > 0 else 0.0
+        p95 = stats.percentile(high, 95.0)
+        return SloObservation(
+            mpl=mpl,
+            completed=len(records),
+            high_count=len(high),
+            high_p95=p95,
+            low_throughput=low_throughput,
+            feasible=bool(high) and p95 <= self.target_p95_s,
+        )
+
+    def tune(self) -> SloReport:
+        """Run observation/reaction iterations until convergence.
+
+        Convergence: the controller sits at a feasible MPL whose
+        immediate successor is known infeasible (the highest feasible
+        value), or the feasible region reaches ``max_mpl``, or the
+        iteration budget runs out.
+        """
+        mpl = self.initial_mpl
+        trajectory: List[SloObservation] = []
+        highest_feasible: Optional[int] = None
+        lowest_infeasible: Optional[int] = None
+        step = self.step
+        iteration = 0
+        while iteration < self.max_iterations:
+            iteration += 1
+            self.system.frontend.set_mpl(mpl)
+            observation = self._observe(mpl)
+            trajectory.append(observation)
+            if observation.feasible:
+                if highest_feasible is None or mpl > highest_feasible:
+                    highest_feasible = mpl
+                if mpl >= self.max_mpl or (
+                    lowest_infeasible is not None and mpl + 1 >= lowest_infeasible
+                ):
+                    return SloReport(
+                        final_mpl=mpl, iterations=iteration,
+                        converged=True, trajectory=trajectory,
+                    )
+                if lowest_infeasible is None:
+                    next_mpl = min(self.max_mpl, mpl + step)
+                    step *= 2
+                else:
+                    next_mpl = (mpl + lowest_infeasible) // 2
+                    step = self.step
+                mpl = next_mpl
+            else:
+                if lowest_infeasible is None or mpl < lowest_infeasible:
+                    lowest_infeasible = mpl
+                if highest_feasible is not None and mpl - 1 <= highest_feasible:
+                    self.system.frontend.set_mpl(highest_feasible)
+                    return SloReport(
+                        final_mpl=highest_feasible, iterations=iteration,
+                        converged=True, trajectory=trajectory,
+                    )
+                if mpl <= 1:
+                    # even MPL 1 misses the SLO: the target is
+                    # unattainable on this system — hold the floor
+                    return SloReport(
+                        final_mpl=1, iterations=iteration,
+                        converged=False, trajectory=trajectory,
+                    )
+                if highest_feasible is None:
+                    next_mpl = max(1, mpl - step)
+                    step *= 2
+                else:
+                    next_mpl = (mpl + highest_feasible) // 2
+                    step = self.step
+                mpl = next_mpl
+        final = highest_feasible if highest_feasible is not None else 1
+        self.system.frontend.set_mpl(final)
+        return SloReport(
+            final_mpl=final,
+            iterations=iteration,
+            converged=False,
+            trajectory=trajectory,
+        )

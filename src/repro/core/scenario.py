@@ -1,0 +1,947 @@
+"""Scenario API v1: workload × arrivals × topology × control as specs.
+
+The paper's core move is *external* control — the MPL loop wraps an
+unmodified DBMS, so the whole experiment is configuration, not engine
+code.  This module makes that literal: a :class:`ScenarioSpec` composes
+four orthogonal, individually-fingerprinted sub-specs
+
+* :class:`WorkloadRef` — *what runs*: a Table 2 setup id, or a named
+  service-demand trace (:mod:`repro.workloads.traces`);
+* :class:`~repro.core.arrivals.ArrivalSpec` — *how work arrives*
+  (closed / open / partly-open / modulated / trace replay), the seam
+  PR 2 introduced, reused unchanged;
+* :class:`TopologySpec` — *where it runs*: shard count, routing
+  policy, routing weights (the cluster layer of PR 3);
+* :class:`ControlSpec` — *who turns the knob*: a static MPL
+  (:class:`StaticMpl`), the paper's §4 feedback loop
+  (:class:`FeedbackMpl`), or a per-class SLO loop
+  (:class:`PerClassSlo`) holding HIGH's p95 under a target while
+  maximizing LOW throughput;
+
+plus a :class:`MeasurementSpec` (transactions, warmup, metric set).
+Scenarios are pure data: frozen dataclasses that JSON round-trip
+(:meth:`ScenarioSpec.to_json_dict` / :meth:`ScenarioSpec.from_json_dict`),
+pickle into worker processes, and content-hash into the parallel
+runner's cache key.
+
+Compatibility is structural: :meth:`ScenarioSpec.build_config`
+constructs exactly the :class:`~repro.core.system.SystemConfig` /
+:class:`~repro.core.cluster.ClusterConfig` the legacy
+:class:`~repro.experiments.parallel.RunSpec` produced, and
+:meth:`ScenarioSpec.fingerprint` only appends ``extra`` entries for
+features the legacy path could not express — so every legacy spec
+keeps its exact cache key (pinned by
+``tests/data/scenario_golden_fingerprints.json``) and an all-default
+scenario runs bit-identically to the legacy path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.arrivals import (
+    ArrivalSpec,
+    ClosedArrivals,
+    ModulatedArrivals,
+    OpenArrivals,
+    PartlyOpenArrivals,
+    PiecewiseRate,
+    RateFunction,
+    SinusoidRate,
+    TraceArrivals,
+)
+from repro.core.cluster import (
+    AnyConfig,
+    ClusterConfig,
+    ClusteredSystem,
+    build_system,
+)
+from repro.core.controller import (
+    Baseline,
+    ControllerReport,
+    MplController,
+    PerClassSloController,
+    SloReport,
+    Thresholds,
+)
+from repro.core.system import (
+    MeasuredSystem,
+    RunResult,
+    SystemConfig,
+    canonical_jsonable,
+    content_digest,
+)
+from repro.core.tuner import model_jump_start
+from repro.dbms.config import (
+    HardwareConfig,
+    InternalPolicy,
+    IsolationLevel,
+    LockSchedulingPolicy,
+)
+from repro.metrics import stats
+from repro.sim.station import ROUTING_POLICIES
+
+#: Seed shared by every figure unless the paper's text says otherwise
+#: (the historical home of this constant is
+#: :mod:`repro.experiments.parallel`, which re-exports it).
+DEFAULT_SEED = 11
+
+#: Metric families a :class:`MeasurementSpec` may request.
+METRIC_SETS = ("standard", "percentiles")
+
+#: Response-time percentiles reported by the ``percentiles`` metric set.
+REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def component_fingerprint(spec: Any) -> str:
+    """Content hash of one sub-spec (workload / arrival / ...).
+
+    Orthogonality made checkable: two scenarios share a component
+    fingerprint iff that axis is identical, regardless of every other
+    axis.
+    """
+    return content_digest(canonical_jsonable(spec), {})
+
+
+# -- the four axes -------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadRef:
+    """What runs: a Table 2 setup id, or a named demand trace.
+
+    Exactly one of ``setup_id`` / ``trace`` is set.  A setup carries
+    its own hardware and isolation level (Table 2); a trace runs as a
+    resampled CPU-bound workload
+    (:func:`~repro.workloads.traces.trace_workload`) on the default
+    one-CPU machine.
+    """
+
+    setup_id: Optional[int] = 1
+    trace: Optional[str] = None
+    trace_transactions: Optional[int] = None
+    trace_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.setup_id is None) == (self.trace is None):
+            raise ValueError(
+                "specify exactly one of setup_id / trace, got "
+                f"setup_id={self.setup_id!r} trace={self.trace!r}"
+            )
+
+    def resolve(self) -> "Tuple[Any, HardwareConfig, IsolationLevel]":
+        """The (workload, hardware, isolation) triple this ref names."""
+        if self.setup_id is not None:
+            from repro.workloads.setups import get_setup
+
+            setup = get_setup(self.setup_id)
+            return setup.workload, setup.hardware, setup.isolation
+        from repro.workloads.traces import get_trace, trace_workload
+
+        trace = get_trace(self.trace, self.trace_transactions, self.trace_seed)
+        return trace_workload(trace), HardwareConfig(), IsolationLevel.RR
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologySpec:
+    """Where it runs: N engines behind a router (1 = the plain engine)."""
+
+    shards: int = 1
+    routing: str = "round_robin"
+    routing_weights: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards!r}")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.routing!r}; "
+                f"available: {', '.join(ROUTING_POLICIES)}"
+            )
+        if self.routing_weights is not None:
+            if len(self.routing_weights) != self.shards:
+                raise ValueError(
+                    f"need {self.shards} routing weights, "
+                    f"got {len(self.routing_weights)}"
+                )
+            if any(w <= 0 for w in self.routing_weights):
+                raise ValueError(
+                    f"routing weights must be positive, got {self.routing_weights!r}"
+                )
+
+
+@dataclasses.dataclass(frozen=True)
+class MeasurementSpec:
+    """How the run is measured: sample size, warmup, metric families."""
+
+    transactions: int = 1500
+    warmup_fraction: float = 0.2
+    metrics: Tuple[str, ...] = ("standard",)
+
+    def __post_init__(self) -> None:
+        if self.transactions < 1:
+            raise ValueError(
+                f"transactions must be >= 1, got {self.transactions!r}"
+            )
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction!r}"
+            )
+        if not self.metrics or "standard" not in self.metrics:
+            raise ValueError("the metric set must include 'standard'")
+        unknown = set(self.metrics) - set(METRIC_SETS)
+        if unknown:
+            raise ValueError(
+                f"unknown metric sets {sorted(unknown)!r}; "
+                f"available: {', '.join(METRIC_SETS)}"
+            )
+
+
+class ControlSpec:
+    """Marker base: who sets the MPL, and how, during a run.
+
+    A control spec is pure data; the *system* instantiates the matching
+    controller (``apply``) — figure code never constructs controllers
+    directly anymore.
+    """
+
+    def config_mpl(self) -> Optional[int]:
+        """The MPL the system is built with (before any control loop)."""
+        raise NotImplementedError
+
+    def apply(
+        self, system: MeasuredSystem, scenario: "ScenarioSpec"
+    ) -> "Optional[ControlReport]":
+        """Run the control phase against a live system; report or None."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticMpl(ControlSpec):
+    """A fixed MPL (None = unlimited, the paper's baseline system)."""
+
+    mpl: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mpl is not None and self.mpl < 1:
+            raise ValueError(f"mpl must be >= 1 or None, got {self.mpl!r}")
+
+    def config_mpl(self) -> Optional[int]:
+        return self.mpl
+
+    def apply(self, system, scenario):
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class FeedbackMpl(ControlSpec):
+    """The paper's §4 loop: queueing-model jump-start + feedback control.
+
+    ``initial_mpl=None`` jump-starts from the queueing models (§4.1 /
+    §4.2) using the measured baseline, exactly like
+    :class:`~repro.core.tuner.MplTuner` (single-engine topologies
+    only — a sharded scenario must pin ``initial_mpl`` explicitly).
+    The no-MPL baseline the penalties are measured against is taken
+    from an unlimited twin of the same scenario (same workload,
+    arrivals, topology, seed), run for ``baseline_transactions`` — or
+    supplied directly via ``baseline_throughput`` /
+    ``baseline_response_time`` when the caller already measured it
+    (e.g. through the result cache), which skips the twin run.
+
+    On a sharded topology the loop runs per shard
+    (:meth:`~repro.core.cluster.ClusteredSystem.tune_shards`), each
+    shard held to its fair share of the cluster baseline.
+    """
+
+    max_throughput_loss: float = 0.05
+    max_response_time_increase: float = 0.30
+    initial_mpl: Optional[int] = None
+    window: int = 100
+    step: int = 1
+    adaptive: bool = True
+    baseline_transactions: int = 1000
+    #: Pre-measured no-MPL reference (both set, or both None).
+    baseline_throughput: Optional[float] = None
+    baseline_response_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # delegate range validation to the shared Thresholds rules
+        self.thresholds()
+        if self.initial_mpl is not None and self.initial_mpl < 1:
+            raise ValueError(
+                f"initial_mpl must be >= 1 or None, got {self.initial_mpl!r}"
+            )
+        if self.baseline_transactions < 2:
+            raise ValueError(
+                "baseline_transactions must be >= 2, got "
+                f"{self.baseline_transactions!r}"
+            )
+        if (self.baseline_throughput is None) != (
+            self.baseline_response_time is None
+        ):
+            raise ValueError(
+                "baseline_throughput and baseline_response_time go together"
+            )
+        if self.baseline_throughput is not None:
+            # validate the pair eagerly (Baseline rejects tput <= 0)
+            self.explicit_baseline()
+            if self.initial_mpl is None:
+                raise ValueError(
+                    "an explicit baseline carries no utilizations for the "
+                    "model jump-start; pin initial_mpl as well"
+                )
+
+    def explicit_baseline(self) -> Optional[Baseline]:
+        """The pre-measured reference, if one was supplied."""
+        if self.baseline_throughput is None:
+            return None
+        return Baseline(
+            throughput=self.baseline_throughput,
+            mean_response_time=self.baseline_response_time,
+        )
+
+    def thresholds(self) -> Thresholds:
+        """The DBA tolerances as the controller's Thresholds object."""
+        return Thresholds(
+            max_throughput_loss=self.max_throughput_loss,
+            max_response_time_increase=self.max_response_time_increase,
+        )
+
+    def config_mpl(self) -> Optional[int]:
+        return self.initial_mpl
+
+    def _measure_baseline(self, scenario: "ScenarioSpec") -> RunResult:
+        """Run the unlimited twin of ``scenario`` (the no-MPL reference)."""
+        twin = dataclasses.replace(scenario, control=StaticMpl(None))
+        return build_system(twin.build_config()).run(
+            transactions=self.baseline_transactions,
+            warmup_fraction=scenario.measurement.warmup_fraction,
+        )
+
+    def apply(self, system, scenario):
+        baseline = self.explicit_baseline()
+        reference = None
+        if baseline is None:
+            reference = self._measure_baseline(scenario)
+            baseline = Baseline(
+                throughput=reference.throughput,
+                mean_response_time=reference.mean_response_time,
+            )
+        if isinstance(system, ClusteredSystem):
+            # initial_mpl is validated non-None for sharded scenarios
+            reports = system.tune_shards(
+                baseline,
+                self.thresholds(),
+                initial_mpl=self.initial_mpl,
+                window=self.window,
+                step=self.step,
+                adaptive=self.adaptive,
+                check_response_time=scenario.is_open,
+            )
+            return ShardReports(tuple(reports))
+        initial = self.initial_mpl
+        if initial is None:
+            jump = model_jump_start(
+                system.config, reference, self.thresholds(),
+                is_open=scenario.is_open,
+            )
+            cap = max(1, system.config.num_clients)
+            initial = min(max(jump["throughput"], jump["response_time"]), cap)
+        controller = MplController(
+            system,
+            baseline,
+            self.thresholds(),
+            initial_mpl=initial,
+            window=self.window,
+            step=self.step,
+            adaptive=self.adaptive,
+            check_response_time=scenario.is_open,
+        )
+        return controller.tune()
+
+
+@dataclasses.dataclass(frozen=True)
+class PerClassSlo(ControlSpec):
+    """Hold HIGH's p95 under ``high_p95_target_s``, maximize LOW work.
+
+    Runs :class:`~repro.core.controller.PerClassSloController` against
+    the live system; requires HIGH-priority traffic
+    (``high_priority_fraction > 0``) and a single-engine topology.
+    """
+
+    high_p95_target_s: float = 0.5
+    initial_mpl: int = 8
+    window: int = 150
+    step: int = 1
+    max_mpl: int = 128
+    max_iterations: int = 30
+
+    def __post_init__(self) -> None:
+        if self.high_p95_target_s <= 0:
+            raise ValueError(
+                f"high_p95_target_s must be positive, got {self.high_p95_target_s!r}"
+            )
+        if self.initial_mpl < 1:
+            raise ValueError(f"initial_mpl must be >= 1, got {self.initial_mpl!r}")
+        if self.max_mpl < self.initial_mpl:
+            raise ValueError(
+                f"max_mpl {self.max_mpl!r} must be >= initial_mpl "
+                f"{self.initial_mpl!r}"
+            )
+
+    def config_mpl(self) -> Optional[int]:
+        return self.initial_mpl
+
+    def apply(self, system, scenario):
+        controller = PerClassSloController(
+            system,
+            target_p95_s=self.high_p95_target_s,
+            initial_mpl=self.initial_mpl,
+            window=self.window,
+            step=self.step,
+            max_mpl=self.max_mpl,
+            max_iterations=self.max_iterations,
+        )
+        return controller.tune()
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardReports:
+    """Per-shard controller reports from a sharded feedback run."""
+
+    shards: Tuple[ControllerReport, ...]
+
+
+ControlReport = Union[ControllerReport, SloReport, ShardReports]
+
+
+# -- the composed scenario -----------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment, composed from orthogonal axes.
+
+    The all-default scenario is the legacy default run: Table 2
+    setup 1, closed arrivals (100 clients), one shard, a static
+    unlimited MPL, 1500 measured transactions — and it fingerprints
+    and runs byte-identically to the legacy
+    :class:`~repro.experiments.parallel.RunSpec` path.
+
+    ``arrival=None`` keeps the legacy closed default (100 clients, no
+    think time); ``arrival_rate`` is the legacy open-Poisson knob kept
+    for fingerprint compatibility — new scenarios should say
+    :class:`~repro.core.arrivals.OpenArrivals` instead.
+    """
+
+    workload: WorkloadRef = WorkloadRef()
+    arrival: Optional[ArrivalSpec] = None
+    topology: TopologySpec = TopologySpec()
+    control: ControlSpec = StaticMpl()
+    measurement: MeasurementSpec = MeasurementSpec()
+    policy: str = "fifo"
+    internal: Optional[InternalPolicy] = None
+    high_priority_fraction: float = 0.0
+    arrival_rate: Optional[float] = None
+    seed: int = DEFAULT_SEED
+    #: Free-form label carried into artifacts (never hashed).
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workload, WorkloadRef):
+            raise ValueError(f"workload must be a WorkloadRef, got {self.workload!r}")
+        if not isinstance(self.topology, TopologySpec):
+            raise ValueError(f"topology must be a TopologySpec, got {self.topology!r}")
+        if not isinstance(self.control, ControlSpec):
+            raise ValueError(f"control must be a ControlSpec, got {self.control!r}")
+        if not isinstance(self.measurement, MeasurementSpec):
+            raise ValueError(
+                f"measurement must be a MeasurementSpec, got {self.measurement!r}"
+            )
+        if self.arrival is not None and self.arrival_rate is not None:
+            raise ValueError(
+                "specify either an arrival spec or the legacy arrival_rate, not both"
+            )
+        if not 0.0 <= self.high_priority_fraction <= 1.0:
+            raise ValueError(
+                "high_priority_fraction must be in [0, 1], got "
+                f"{self.high_priority_fraction!r}"
+            )
+        if (
+            isinstance(self.control, FeedbackMpl)
+            and self.topology.shards > 1
+            and self.control.initial_mpl is None
+        ):
+            raise ValueError(
+                "FeedbackMpl on a sharded topology needs an explicit "
+                "initial_mpl (the queueing-model jump-start is single-engine)"
+            )
+        if isinstance(self.control, PerClassSlo):
+            if self.topology.shards != 1:
+                raise ValueError(
+                    "PerClassSlo control runs on a single engine "
+                    f"(got {self.topology.shards} shards)"
+                )
+            if self.high_priority_fraction <= 0:
+                raise ValueError(
+                    "PerClassSlo control needs HIGH-priority traffic "
+                    "(high_priority_fraction > 0)"
+                )
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        """Whether arrivals are externally driven (vs a closed loop)."""
+        if self.arrival_rate is not None:
+            return True
+        return self.arrival is not None and not isinstance(
+            self.arrival, ClosedArrivals
+        )
+
+    # legacy-facing accessors (bench artifacts, grid assertions)
+
+    @property
+    def setup_id(self) -> Optional[int]:
+        return self.workload.setup_id
+
+    @property
+    def mpl(self) -> Optional[int]:
+        return self.control.config_mpl()
+
+    @property
+    def transactions(self) -> int:
+        return self.measurement.transactions
+
+    @property
+    def warmup_fraction(self) -> float:
+        return self.measurement.warmup_fraction
+
+    @property
+    def shards(self) -> int:
+        return self.topology.shards
+
+    @property
+    def routing(self) -> str:
+        return self.topology.routing
+
+    # -- construction --------------------------------------------------------
+
+    def build_config(self) -> AnyConfig:
+        """The system/cluster config this scenario describes.
+
+        Field-for-field the construction the legacy ``RunSpec.config``
+        performed — which is what keeps every legacy fingerprint and
+        result byte-identical.
+        """
+        workload, hardware, isolation = self.workload.resolve()
+        base = SystemConfig(
+            workload=workload,
+            hardware=hardware,
+            isolation=isolation,
+            internal=self.internal,
+            mpl=self.control.config_mpl(),
+            policy=self.policy,
+            high_priority_fraction=self.high_priority_fraction,
+            arrival_rate=self.arrival_rate,
+            seed=self.seed,
+            arrival=self.arrival,
+        )
+        if self.topology.shards == 1:
+            return base
+        return ClusterConfig.scale_out(
+            base,
+            self.topology.shards,
+            routing=self.topology.routing,
+            routing_weights=self.topology.routing_weights,
+        )
+
+    # -- fingerprinting ------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """The canonical content hash (the runner's cache key).
+
+        Built on the underlying config's digest; axes the legacy path
+        could not express (non-static control, extra metric sets) are
+        appended to the ``extra`` payload *only when non-default*, so
+        every legacy-expressible scenario keeps its historical digest.
+        """
+        extra: Dict[str, Any] = {
+            "transactions": self.measurement.transactions,
+            "warmup_fraction": self.measurement.warmup_fraction,
+        }
+        if not isinstance(self.control, StaticMpl):
+            extra["control"] = canonical_jsonable(self.control)
+        if self.measurement.metrics != ("standard",):
+            extra["metrics"] = list(self.measurement.metrics)
+        return self.build_config().fingerprint(**extra)
+
+    def component_fingerprints(self) -> Dict[str, str]:
+        """One digest per axis (orthogonality, surfaced)."""
+        return {
+            "workload": component_fingerprint(self.workload),
+            "arrival": component_fingerprint(self.arrival),
+            "topology": component_fingerprint(self.topology),
+            "control": component_fingerprint(self.control),
+            "measurement": component_fingerprint(self.measurement),
+        }
+
+    # -- JSON round-trip -----------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A JSON round-trip encoding (see :meth:`from_json_dict`)."""
+        return {
+            "workload": _encode_flat(self.workload),
+            "arrival": _encode_arrival(self.arrival),
+            "topology": _encode_flat(self.topology),
+            "control": _encode_control(self.control),
+            "measurement": _encode_flat(self.measurement),
+            "policy": self.policy,
+            "internal": _encode_internal(self.internal),
+            "high_priority_fraction": self.high_priority_fraction,
+            "arrival_rate": self.arrival_rate,
+            "seed": self.seed,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a scenario from :meth:`to_json_dict` output.
+
+        Strict: unknown keys raise, so a typo'd field fails loudly
+        instead of silently running the default scenario.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"scenario payload must be an object, got {payload!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        data: Dict[str, Any] = {}
+        if "workload" in payload:
+            data["workload"] = _decode_flat(payload["workload"], WorkloadRef)
+        if "arrival" in payload:
+            data["arrival"] = _decode_arrival(payload["arrival"])
+        if "topology" in payload:
+            data["topology"] = _decode_flat(
+                payload["topology"], TopologySpec, tuples={"routing_weights"}
+            )
+        if "control" in payload:
+            data["control"] = _decode_control(payload["control"])
+        if "measurement" in payload:
+            data["measurement"] = _decode_flat(
+                payload["measurement"], MeasurementSpec, tuples={"metrics"}
+            )
+        if "internal" in payload:
+            data["internal"] = _decode_internal(payload["internal"])
+        for name in ("policy", "high_priority_fraction", "arrival_rate", "seed", "tag"):
+            if name in payload:
+                data[name] = payload[name]
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_json_dict(json.loads(text))
+
+
+# -- JSON codec ----------------------------------------------------------------
+
+_ARRIVAL_TYPES: Dict[str, type] = {
+    "closed": ClosedArrivals,
+    "open": OpenArrivals,
+    "partly_open": PartlyOpenArrivals,
+    "modulated": ModulatedArrivals,
+    "trace": TraceArrivals,
+}
+
+_RATE_TYPES: Dict[str, type] = {
+    "piecewise": PiecewiseRate,
+    "sinusoid": SinusoidRate,
+}
+
+_CONTROL_TYPES: Dict[str, type] = {
+    "static": StaticMpl,
+    "feedback": FeedbackMpl,
+    "per_class_slo": PerClassSlo,
+}
+
+
+def _type_name(registry: Dict[str, type], obj: Any) -> str:
+    for name, cls in registry.items():
+        if type(obj) is cls:
+            return name
+    raise ValueError(f"cannot encode {type(obj).__name__}: not a registered spec")
+
+
+def _encode_flat(obj: Any) -> Dict[str, Any]:
+    """Flat dataclass → plain dict (tuples become lists via json later)."""
+    out = {}
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name)
+        out[field.name] = list(value) if isinstance(value, tuple) else value
+    return out
+
+
+def _decode_flat(
+    payload: Any, cls: type, tuples: Sequence[str] = ()
+) -> Any:
+    if not isinstance(payload, dict):
+        raise ValueError(f"{cls.__name__} payload must be an object, got {payload!r}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    data = dict(payload)
+    for name in tuples:
+        if data.get(name) is not None:
+            data[name] = tuple(data[name])
+    return cls(**data)
+
+
+def _encode_arrival(spec: Optional[ArrivalSpec]) -> Optional[Dict[str, Any]]:
+    if spec is None:
+        return None
+    name = _type_name(_ARRIVAL_TYPES, spec)
+    if isinstance(spec, ModulatedArrivals):
+        return {"type": name, "rate_function": _encode_rate(spec.rate_function)}
+    payload = {"type": name, **_encode_flat(spec)}
+    # the trace digest is derived from the named trace, not an input
+    payload.pop("digest", None)
+    return payload
+
+
+def _decode_arrival(payload: Optional[Dict[str, Any]]) -> Optional[ArrivalSpec]:
+    if payload is None:
+        return None
+    data = dict(payload) if isinstance(payload, dict) else None
+    if not data or "type" not in data:
+        raise ValueError(f"arrival payload needs a 'type', got {payload!r}")
+    name = data.pop("type")
+    cls = _ARRIVAL_TYPES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown arrival type {name!r}; "
+            f"available: {', '.join(sorted(_ARRIVAL_TYPES))}"
+        )
+    if cls is ModulatedArrivals:
+        return ModulatedArrivals(_decode_rate(data.pop("rate_function", None)))
+    return _decode_flat(data, cls)
+
+
+def _encode_rate(rate: RateFunction) -> Dict[str, Any]:
+    name = _type_name(_RATE_TYPES, rate)
+    payload = {"type": name, **_encode_flat(rate)}
+    if isinstance(rate, PiecewiseRate):
+        payload["points"] = [list(point) for point in rate.points]
+    return payload
+
+
+def _decode_rate(payload: Optional[Dict[str, Any]]) -> RateFunction:
+    data = dict(payload) if isinstance(payload, dict) else None
+    if not data or "type" not in data:
+        raise ValueError(f"rate_function payload needs a 'type', got {payload!r}")
+    name = data.pop("type")
+    cls = _RATE_TYPES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown rate function {name!r}; "
+            f"available: {', '.join(sorted(_RATE_TYPES))}"
+        )
+    if cls is PiecewiseRate and data.get("points") is not None:
+        data["points"] = tuple(tuple(point) for point in data["points"])
+    return _decode_flat(data, cls)
+
+
+def _encode_control(spec: ControlSpec) -> Dict[str, Any]:
+    return {"type": _type_name(_CONTROL_TYPES, spec), **_encode_flat(spec)}
+
+
+def _decode_control(payload: Any) -> ControlSpec:
+    data = dict(payload) if isinstance(payload, dict) else None
+    if not data or "type" not in data:
+        raise ValueError(f"control payload needs a 'type', got {payload!r}")
+    name = data.pop("type")
+    cls = _CONTROL_TYPES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown control type {name!r}; "
+            f"available: {', '.join(sorted(_CONTROL_TYPES))}"
+        )
+    return _decode_flat(data, cls)
+
+
+def _encode_internal(policy: Optional[InternalPolicy]) -> Optional[Dict[str, Any]]:
+    if policy is None:
+        return None
+    weights = policy.cpu_weights
+    return {
+        "lock_scheduling": policy.lock_scheduling.value,
+        "cpu_weights": (
+            {str(int(k)): v for k, v in weights.items()} if weights else None
+        ),
+    }
+
+
+def _decode_internal(payload: Optional[Dict[str, Any]]) -> Optional[InternalPolicy]:
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ValueError(f"internal payload must be an object, got {payload!r}")
+    unknown = set(payload) - {"lock_scheduling", "cpu_weights"}
+    if unknown:
+        raise ValueError(f"unknown internal-policy fields: {sorted(unknown)}")
+    weights = payload.get("cpu_weights")
+    return InternalPolicy(
+        lock_scheduling=LockSchedulingPolicy(payload.get("lock_scheduling", "fifo")),
+        cpu_weights=(
+            {int(k): float(v) for k, v in weights.items()} if weights else None
+        ),
+    )
+
+
+def _report_jsonable(report: Optional[ControlReport]) -> Optional[Dict[str, Any]]:
+    if report is None:
+        return None
+    if isinstance(report, ShardReports):
+        return {
+            "type": "shards",
+            "shards": [dataclasses.asdict(r) for r in report.shards],
+        }
+    payload = dataclasses.asdict(report)
+    payload["type"] = (
+        "per_class_slo" if isinstance(report, SloReport) else "feedback"
+    )
+    return payload
+
+
+# -- execution -----------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioOutcome:
+    """Everything one scenario run produced."""
+
+    spec: ScenarioSpec
+    fingerprint: str
+    result: RunResult
+    control: Optional[ControlReport] = None
+    percentiles: Optional[Dict[str, Dict[str, float]]] = None
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "spec": self.spec.to_json_dict(),
+            "components": self.spec.component_fingerprints(),
+            "result": self.result.to_json_dict(),
+            "control": _report_jsonable(self.control),
+            "percentiles": self.percentiles,
+        }
+
+
+def _percentile_snapshot(records) -> Dict[str, Dict[str, float]]:
+    """Per-class response-time percentiles over a record window."""
+    by_class: Dict[int, List[float]] = {}
+    for record in records:
+        by_class.setdefault(record.priority, []).append(record.response_time)
+    by_class["all"] = [t for times in by_class.values() for t in times]  # type: ignore[index]
+    # str(int(k)), not str(k): priorities are IntEnum members and
+    # IntEnum.__str__ is Python-version-dependent (3.10: "Priority.LOW")
+    return {
+        (key if isinstance(key, str) else str(int(key))): {
+            f"p{quantile:g}": stats.percentile(times, quantile)
+            for quantile in REPORTED_PERCENTILES
+        }
+        for key, times in by_class.items()
+    }
+
+
+def execute_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Run one scenario end to end: build, control, measure.
+
+    With static control this is byte-for-byte the legacy execution
+    path (build the system, run the measurement window); with feedback
+    or SLO control the system first runs the spec-described controller,
+    then measures a fresh post-control window.
+    """
+    measurement = spec.measurement
+    system = build_system(spec.build_config())
+    report = spec.control.apply(system, spec)
+    # the control phase's completions precede the measurement window;
+    # both run paths land the window at exactly `transactions` records
+    # past `start`, so one warmup index serves the result and the
+    # percentile snapshot alike
+    start = len(system.collector.records)
+    if report is None:
+        result = system.run(
+            transactions=measurement.transactions,
+            warmup_fraction=measurement.warmup_fraction,
+        )
+    else:
+        result = system.measure_window(
+            measurement.transactions, measurement.warmup_fraction
+        )
+    warmup = start + int(measurement.transactions * measurement.warmup_fraction)
+    percentiles = None
+    if "percentiles" in measurement.metrics:
+        percentiles = _percentile_snapshot(system.collector.completed(warmup))
+    return ScenarioOutcome(
+        spec=spec,
+        fingerprint=spec.fingerprint(),
+        result=result,
+        control=report,
+        percentiles=percentiles,
+    )
+
+
+# -- demo scenarios ------------------------------------------------------------
+
+
+def demo_scenarios() -> Dict[str, ScenarioSpec]:
+    """Named, runnable scenario exemplars (the CLI's ``--demo`` set).
+
+    ``trace-retailer`` / ``trace-auction`` replay the synthetic §3.2
+    production traces through the trace arrival seam on their own
+    resampled workloads; ``slo-tv`` drives the per-class SLO
+    controller under the time-varying (sinusoidal) regime.
+    """
+    trace_demos = {
+        f"trace-{short}": ScenarioSpec(
+            workload=WorkloadRef(
+                setup_id=None, trace=name, trace_transactions=4000
+            ),
+            arrival=TraceArrivals(name, transactions=4000, loop=True),
+            control=StaticMpl(10),
+            measurement=MeasurementSpec(transactions=800, metrics=(
+                "standard", "percentiles",
+            )),
+            tag=f"demo-{short}",
+        )
+        for short, name in (
+            ("retailer", "online-retailer"),
+            ("auction", "auction-site"),
+        )
+    }
+    return {
+        **trace_demos,
+        "slo-tv": ScenarioSpec(
+            workload=WorkloadRef(setup_id=1),
+            arrival=ModulatedArrivals(
+                SinusoidRate(base=45.0, amplitude=15.0, period=20.0)
+            ),
+            policy="priority",
+            high_priority_fraction=0.1,
+            control=PerClassSlo(
+                high_p95_target_s=0.2, initial_mpl=8, window=120,
+                max_mpl=64, max_iterations=20,
+            ),
+            measurement=MeasurementSpec(
+                transactions=600, metrics=("standard", "percentiles")
+            ),
+            tag="demo-slo-tv",
+        ),
+    }

@@ -322,6 +322,24 @@ class MeasuredSystem:
         warmup = int(len(self.collector.records) * warmup_fraction)
         return self.result(warmup=warmup)
 
+    def measure_window(
+        self, transactions: int, warmup_fraction: float = 0.2
+    ) -> RunResult:
+        """Run ``transactions`` more completions; report only that window.
+
+        The measurement phase of a scenario whose control phase already
+        consumed completions (feedback tuning): everything recorded
+        before the call — plus the window's own warmup prefix — is
+        excluded from the reported statistics.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction!r}"
+            )
+        start = len(self.collector.records)
+        self.run_transactions(transactions)
+        return self.result(warmup=start + int(transactions * warmup_fraction))
+
     def result(self, warmup: int = 0) -> RunResult:
         """Build a :class:`RunResult` from everything measured so far."""
         records = self.collector.completed(warmup)

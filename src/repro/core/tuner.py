@@ -55,6 +55,63 @@ def model_initial_mpl_throughput(
     return model.min_mpl_for_fraction(1.0 - max_throughput_loss)
 
 
+def miss_probability(config: SystemConfig) -> float:
+    """The analytic buffer-pool miss probability of a config."""
+    from repro.dbms.bufferpool import AnalyticBufferPool
+
+    pool = AnalyticBufferPool(
+        config.workload.db_pages,
+        config.hardware.cache_pages,
+        hot_access_fraction=config.workload.hot_access_fraction,
+        hot_page_fraction=config.workload.hot_page_fraction,
+    )
+    return 1.0 - pool.hit_probability
+
+
+def model_jump_start(
+    config: SystemConfig,
+    baseline: RunResult,
+    thresholds: Thresholds,
+    is_open: Optional[bool] = None,
+) -> Dict[str, int]:
+    """The queueing models' starting MPLs for a measured baseline.
+
+    The §4.1 throughput model always applies; the §4.2 response-time
+    model only for open systems (in a closed system the mean response
+    time follows throughput by Little's law, §3.2).  ``is_open``
+    identifies the arrival regime; the default (None) falls back to
+    the legacy ``config.arrival_rate`` test, while the scenario layer
+    passes its own regime notion so open arrival *specs*
+    (``OpenArrivals``, modulated, trace replay) jump-start identically
+    to the equivalent ``arrival_rate`` spelling.  Shared by
+    :class:`MplTuner` and the scenario layer's ``FeedbackMpl`` control
+    spec, so "jump-start from the models" means the same thing on both
+    paths.
+    """
+    hardware = config.hardware
+    counts = {
+        "cpu": hardware.num_cpus,
+        "disk": hardware.num_disks,
+        "log": 1,
+    }
+    mpl_throughput = model_initial_mpl_throughput(
+        baseline.utilizations, counts, thresholds.max_throughput_loss
+    )
+    if is_open is None:
+        is_open = config.arrival_rate is not None
+    mpl_response = 1
+    if is_open:
+        _demand_mean, demand_scv = config.workload.demand_moments(
+            hardware.disk_service_mean_ms / 1000.0,
+            miss_probability=miss_probability(config),
+        )
+        load = min(0.9, max(baseline.utilizations.values()))
+        mpl_response = model_initial_mpl_response_time(
+            load, demand_scv, thresholds.max_response_time_increase
+        )
+    return {"throughput": mpl_throughput, "response_time": mpl_response}
+
+
 def model_initial_mpl_response_time(
     load: float,
     demand_scv: float,
@@ -117,7 +174,7 @@ class MplTuner:
         """
         _mean, demand_scv = self.config.workload.demand_moments(
             self.config.hardware.disk_service_mean_ms / 1000.0,
-            miss_probability=self._miss_probability(),
+            miss_probability=miss_probability(self.config),
         )
         multiplier = min(8.0, max(1.0, demand_scv))
         transactions = int(self.baseline_transactions * multiplier)
@@ -125,46 +182,10 @@ class MplTuner:
         system = SimulatedSystem(config)
         return system.run(transactions=transactions)
 
-    def _model_jump_start(self, baseline: RunResult) -> Dict[str, int]:
-        hardware = self.config.hardware
-        counts = {
-            "cpu": hardware.num_cpus,
-            "disk": hardware.num_disks,
-            "log": 1,
-        }
-        mpl_throughput = model_initial_mpl_throughput(
-            baseline.utilizations, counts, self.thresholds.max_throughput_loss
-        )
-        # The response-time model applies to open systems; in a closed
-        # system the mean response time follows throughput by Little's
-        # law (§3.2), so the throughput model already covers it.
-        mpl_response = 1
-        if self.config.arrival_rate is not None:
-            _demand_mean, demand_scv = self.config.workload.demand_moments(
-                hardware.disk_service_mean_ms / 1000.0,
-                miss_probability=self._miss_probability(),
-            )
-            load = min(0.9, max(baseline.utilizations.values()))
-            mpl_response = model_initial_mpl_response_time(
-                load, demand_scv, self.thresholds.max_response_time_increase
-            )
-        return {"throughput": mpl_throughput, "response_time": mpl_response}
-
-    def _miss_probability(self) -> float:
-        from repro.dbms.bufferpool import AnalyticBufferPool
-
-        pool = AnalyticBufferPool(
-            self.config.workload.db_pages,
-            self.config.hardware.cache_pages,
-            hot_access_fraction=self.config.workload.hot_access_fraction,
-            hot_page_fraction=self.config.workload.hot_page_fraction,
-        )
-        return 1.0 - pool.hit_probability
-
     def tune(self) -> TuningResult:
         """Measure the baseline, jump-start from the models, run the loop."""
         baseline = self.measure_baseline()
-        jump_start = self._model_jump_start(baseline)
+        jump_start = model_jump_start(self.config, baseline, self.thresholds)
         # An MPL above the client population is meaningless in a closed
         # system, so both the start and the search space are capped.
         max_mpl = max(1, self.config.num_clients)

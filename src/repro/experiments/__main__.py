@@ -7,6 +7,8 @@ Examples::
     python -m repro.experiments 2 3 --jobs 8 --cache-dir .repro-cache
     python -m repro.experiments all --jobs 8
     python -m repro.experiments bench --jobs 2 --output BENCH_smoke.json
+    python -m repro.experiments scenario show --grid 2
+    python -m repro.experiments scenario run my_scenario.json
 
 Figures and tables can be named positionally (``all`` expands to
 everything) or through the original ``--figure`` / ``--table`` flags.
@@ -15,6 +17,14 @@ and ``--cache-dir`` memoizes completed runs on disk (see
 :mod:`repro.experiments.parallel`).  The ``bench`` subcommand runs one
 figure's grid twice — cold then warm — and writes a ``BENCH_*.json``
 trajectory artifact that CI uploads and diffs.
+
+The ``scenario`` subcommand is the JSON face of the Scenario API
+(:mod:`repro.core.scenario`): ``show`` prints the canonical JSON of a
+spec file, a figure grid, or a named demo; ``fingerprint`` prints
+content digests (the runner's cache keys); ``run`` executes scenarios
+end to end — controller included — and emits outcome JSON.  ``show``
+output feeds back into ``fingerprint``/``run`` unchanged, which is the
+round-trip CI pins.
 """
 
 from __future__ import annotations
@@ -29,6 +39,8 @@ import tempfile
 import time
 from typing import Callable, Dict, List
 
+from repro.core import scenario as scenario_module
+from repro.core.scenario import ScenarioSpec
 from repro.experiments import figures, parallel, tables
 from repro.sim.random import replicate_seeds
 
@@ -256,10 +268,145 @@ def bench_main(argv: List[str]) -> int:
     return 0
 
 
+def _load_scenarios(args: argparse.Namespace) -> "tuple[List[ScenarioSpec], bool]":
+    """Resolve the scenario input source; returns (specs, was_single).
+
+    ``was_single`` keeps single-spec inputs emitting a single JSON
+    object (not a one-element list), so piping a spec through ``show``
+    never changes its shape.
+    """
+    sources = [args.file is not None, args.grid is not None, args.demo is not None]
+    if sum(sources) != 1:
+        raise ValueError("specify exactly one of FILE, --grid, or --demo")
+    if args.grid is not None:
+        key = args.grid.lower()
+        builder = figures.FIGURE_GRIDS.get(key)
+        if builder is None:
+            raise ValueError(
+                f"unknown figure grid {args.grid!r}; available: "
+                + ", ".join(sorted(figures.FIGURE_GRIDS))
+            )
+        specs = [parallel.as_scenario(spec) for spec in builder(fast=not args.full)]
+        return specs, False
+    if args.demo is not None:
+        demos = scenario_module.demo_scenarios()
+        spec = demos.get(args.demo)
+        if spec is None:
+            raise ValueError(
+                f"unknown demo scenario {args.demo!r}; available: "
+                + ", ".join(sorted(demos))
+            )
+        return [spec], True
+    if args.file == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(args.file, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    if isinstance(payload, list):
+        return [ScenarioSpec.from_json_dict(entry) for entry in payload], False
+    return [ScenarioSpec.from_json_dict(payload)], True
+
+
+def scenario_main(argv: List[str]) -> int:
+    """``scenario``: show / fingerprint / run specs, JSON in and out."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments scenario",
+        description="Show, fingerprint, or run Scenario API specs (JSON).",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        choices=("show", "fingerprint", "run"),
+        help="show: canonical JSON; fingerprint: content digests; "
+        "run: execute end to end and emit outcome JSON",
+    )
+    parser.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        metavar="FILE",
+        help="JSON spec file (an object or a list; '-' reads stdin)",
+    )
+    parser.add_argument(
+        "--grid",
+        default=None,
+        metavar="ID",
+        help=f"use a figure grid as the spec list (one of "
+        f"{sorted(figures.FIGURE_GRIDS)})",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="with --grid: full-size grid"
+    )
+    parser.add_argument(
+        "--demo",
+        default=None,
+        metavar="NAME",
+        help="use a named demo scenario (see --list-demos)",
+    )
+    parser.add_argument(
+        "--list-demos", action="store_true", help="list demo scenario names"
+    )
+    parser.add_argument(
+        "--components",
+        action="store_true",
+        help="with fingerprint: include the per-axis component digests",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the JSON here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_demos:
+        for name in sorted(scenario_module.demo_scenarios()):
+            print(name)
+        return 0
+    if args.action is None:
+        parser.error("an action (show / fingerprint / run) is required")
+    try:
+        specs, single = _load_scenarios(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        payloads: List[dict] = [spec.to_json_dict() for spec in specs]
+    elif args.action == "fingerprint":
+        payloads = []
+        for spec in specs:
+            entry = {"fingerprint": spec.fingerprint()}
+            if args.components:
+                entry["components"] = spec.component_fingerprints()
+            payloads.append(entry)
+    else:  # run
+        payloads = []
+        for spec in specs:
+            outcome = scenario_module.execute_scenario(spec)
+            payloads.append(outcome.to_json_dict())
+            print(
+                f"[scenario] {spec.tag or spec.fingerprint()[:12]}: "
+                f"{outcome.result.throughput:.1f} tx/s, "
+                f"{outcome.result.mean_response_time:.3f}s mean RT",
+                file=sys.stderr,
+            )
+    body = payloads[0] if single else payloads
+    text = json.dumps(body, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0] == "scenario":
+        return scenario_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -270,7 +417,8 @@ def main(argv: List[str] | None = None) -> int:
         nargs="*",
         metavar="TARGET",
         help="figure/table ids to regenerate, or 'all' (same as --all); "
-        "'bench' starts the runner benchmark subcommand",
+        "'bench' starts the runner benchmark subcommand and 'scenario' "
+        "the Scenario API subcommand (show / fingerprint / run)",
     )
     parser.add_argument(
         "--figure",
@@ -299,7 +447,10 @@ def main(argv: List[str] | None = None) -> int:
     if args.list:
         print("figures:", ", ".join(sorted(_FIGURES)))
         print("tables :", ", ".join(sorted(_TABLES)))
-        print("grids  :", ", ".join(sorted(figures.FIGURE_GRIDS)), "(for bench)")
+        print("grids  :", ", ".join(sorted(figures.FIGURE_GRIDS)),
+              "(for bench + scenario)")
+        print("demos  :", ", ".join(sorted(scenario_module.demo_scenarios())),
+              "(for scenario run --demo)")
         return 0
 
     if args.jobs < 1:
@@ -323,7 +474,7 @@ def main(argv: List[str] | None = None) -> int:
                 + ", ".join(sorted(_FIGURES))
                 + "; tables: "
                 + ", ".join(sorted(_TABLES))
-                + "; or 'all' / 'bench'",
+                + "; or 'all' / 'bench' / 'scenario'",
                 file=sys.stderr,
             )
             return 2

@@ -13,12 +13,17 @@ import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.arrivals import ModulatedArrivals, PartlyOpenArrivals, SinusoidRate
-from repro.core.controller import Baseline, MplController, Thresholds
-from repro.core.system import SimulatedSystem
+from repro.core.scenario import (
+    FeedbackMpl,
+    MeasurementSpec,
+    ScenarioSpec,
+    WorkloadRef,
+    execute_scenario,
+)
 from repro.dbms.config import InternalPolicy
 from repro.experiments import report
-from repro.experiments.parallel import DEFAULT_SEED, RunSpec, run_grid
-from repro.experiments.runner import setup_config, spec_for, tune_setup
+from repro.experiments.parallel import DEFAULT_SEED, run_grid
+from repro.experiments.runner import scenario_for, spec_for, tune_setup
 from repro.priority.evaluation import (
     HIGH_PRIORITY_FRACTION,
     PrioritizationOutcome,
@@ -78,10 +83,12 @@ def throughput_grid(
     mpls: Sequence[int],
     transactions: int,
     seed: int = DEFAULT_SEED,
-) -> List[RunSpec]:
-    """The run grid behind one throughput-vs-MPL panel, as data."""
+) -> List[ScenarioSpec]:
+    """The scenario grid behind one throughput-vs-MPL panel, as data."""
     return [
-        spec_for(get_setup(setup_id), mpl=mpl, transactions=transactions, seed=seed)
+        scenario_for(
+            get_setup(setup_id), mpl=mpl, transactions=transactions, seed=seed
+        )
         for setup_id in setup_ids
         for mpl in mpls
     ]
@@ -568,15 +575,15 @@ def partly_open_grid(
     rate: float = PARTLY_OPEN_NOMINAL_RATE,
     mixes: Sequence[float] = PARTLY_OPEN_MIXES,
     seed: int = DEFAULT_SEED,
-) -> List[RunSpec]:
-    """The (mix, MPL) grid behind the partly-open sweep, as data.
+) -> List[ScenarioSpec]:
+    """The (mix, MPL) scenario grid behind the partly-open sweep.
 
     Every cell offers the same transaction rate; only the session mix
     (and the MPL) varies, so the columns are directly comparable.
     """
     transactions = 400 if fast else 1500
     return [
-        spec_for(
+        scenario_for(
             get_setup(1),
             mpl=mpl,
             transactions=transactions,
@@ -667,22 +674,30 @@ def time_varying_controller(
     )
     arrival = ModulatedArrivals(rate_function)
     # phase 2: the no-MPL baseline under the same modulated load (cached)
-    reference = run_grid(
-        [spec_for(setup, mpl=None, transactions=transactions, seed=seed, arrival=arrival)]
-    )[0]
-    # phase 3: the live feedback loop (inherently sequential)
-    system = SimulatedSystem(setup_config(setup, seed=seed, arrival=arrival))
-    controller = MplController(
-        system,
-        Baseline(
-            throughput=reference.throughput,
-            mean_response_time=reference.mean_response_time,
+    reference = run_grid([
+        scenario_for(setup, mpl=None, transactions=transactions, seed=seed,
+                     arrival=arrival)
+    ])[0]
+    # phase 3: the scenario *is* the experiment — the FeedbackMpl spec
+    # carries the cached baseline and instantiates the §4.3 controller;
+    # no controller construction in figure code.
+    scenario = ScenarioSpec(
+        workload=WorkloadRef(setup_id=setup_id),
+        arrival=arrival,
+        control=FeedbackMpl(
+            max_throughput_loss=0.05,
+            max_response_time_increase=0.30,
+            initial_mpl=2,
+            window=100 if fast else 200,
+            baseline_throughput=reference.throughput,
+            baseline_response_time=reference.mean_response_time,
         ),
-        Thresholds(max_throughput_loss=0.05, max_response_time_increase=0.30),
-        initial_mpl=2,
-        window=100 if fast else 200,
+        measurement=MeasurementSpec(transactions=max(200, transactions // 3)),
+        seed=seed,
+        tag="tv",
     )
-    outcome = controller.tune()
+    run = execute_scenario(scenario)
+    outcome = run.control
     iterations = tuple(float(i + 1) for i in range(len(outcome.trajectory)))
     notes = (
         f"rate profile: {rate_function.base:.1f} + {rate_function.amplitude:.1f}"
@@ -691,6 +706,8 @@ def time_varying_controller(
         f"(converged={outcome.converged})",
         f"baseline: {reference.throughput:.1f} tx/s, "
         f"{reference.mean_response_time:.3f}s mean RT",
+        f"post-tuning window: {run.result.throughput:.1f} tx/s, "
+        f"{run.result.mean_response_time:.3f}s mean RT",
     )
     return FigureResult(
         figure="TV",
@@ -744,9 +761,9 @@ def _sharded_spec(
     transactions: int,
     arrival,
     seed: int = DEFAULT_SEED,
-) -> RunSpec:
-    return RunSpec(
-        setup_id=1,
+) -> ScenarioSpec:
+    return scenario_for(
+        get_setup(1),
         mpl=per_shard_mpl * shards,
         transactions=transactions,
         seed=seed,
@@ -776,8 +793,8 @@ def sharded_grid(
     mpls: Optional[Sequence[int]] = None,
     shard_counts: Sequence[int] = SHARD_COUNTS,
     policies: Sequence[str] = ROUTING_POLICIES,
-) -> List[RunSpec]:
-    """The run grid behind the cluster figure, as data.
+) -> List[ScenarioSpec]:
+    """The scenario grid behind the cluster figure, as data.
 
     Three blocks, in order: (a) the shard-count sweep under partly-open
     arrivals at the reference routing policy, (b) the routing-policy
@@ -919,16 +936,16 @@ class GridDef:
     fast_mpls: Optional[Tuple[int, ...]] = None
     #: Custom grid builder for figures whose sweep is not a plain
     #: (setup, MPL) product — the sharded-cluster grid plugs in here.
-    builder: Optional[Callable[..., List[RunSpec]]] = None
+    builder: Optional[Callable[..., List[ScenarioSpec]]] = None
 
     def build(
         self, fast: bool = True, mpls: Optional[Sequence[int]] = None
-    ) -> List[RunSpec]:
+    ) -> List[ScenarioSpec]:
         if self.builder is not None:
             return self.builder(fast, mpls)
         if mpls is None:
             mpls = self.fast_mpls if (fast and self.fast_mpls) else self.mpls
-        specs: List[RunSpec] = []
+        specs: List[ScenarioSpec] = []
         for panel in self.panels:
             specs.extend(
                 throughput_grid(panel.setup_ids, mpls, panel.transactions(fast))
@@ -967,34 +984,34 @@ GRID_DEFS: Dict[str, GridDef] = {
 }
 
 
-def figure2_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[RunSpec]:
+def figure2_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[ScenarioSpec]:
     """The simulation grid behind Figure 2 (both panels)."""
     return GRID_DEFS["2"].build(fast, mpls)
 
 
-def figure3_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[RunSpec]:
+def figure3_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[ScenarioSpec]:
     """The simulation grid behind Figure 3 (both panels)."""
     return GRID_DEFS["3"].build(fast, mpls)
 
 
-def figure4_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[RunSpec]:
+def figure4_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[ScenarioSpec]:
     """The simulation grid behind Figure 4."""
     return GRID_DEFS["4"].build(fast, mpls)
 
 
-def figure5_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[RunSpec]:
+def figure5_grid(fast: bool = True, mpls: Optional[Sequence[int]] = None) -> List[ScenarioSpec]:
     """The simulation grid behind Figure 5 (both panels)."""
     return GRID_DEFS["5"].build(fast, mpls)
 
 
-def smoke_grid(fast: bool = True) -> List[RunSpec]:
+def smoke_grid(fast: bool = True) -> List[ScenarioSpec]:
     """A deliberately cheap grid for CI smoke runs and cache benchmarks."""
     return GRID_DEFS["smoke"].build(fast)
 
 
 #: Figure key → grid builder, the machine-readable face of the figures
 #: above.  ``bench`` runs any of these through the parallel runner.
-FIGURE_GRIDS: Dict[str, Callable[[bool], List[RunSpec]]] = {
+FIGURE_GRIDS: Dict[str, Callable[[bool], List[ScenarioSpec]]] = {
     **{key: grid.build for key, grid in GRID_DEFS.items()},
     "po": partly_open_grid,
 }

@@ -28,31 +28,47 @@ import json
 import os
 import tempfile
 import time
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.arrivals import ArrivalSpec
-from repro.core.cluster import AnyConfig, ClusterConfig, build_system
+from repro.core.cluster import AnyConfig
+from repro.core.scenario import (
+    DEFAULT_SEED,
+    MeasurementSpec,
+    ScenarioSpec,
+    StaticMpl,
+    TopologySpec,
+    WorkloadRef,
+    execute_scenario,
+)
 from repro.core.system import (
     RunResult,
-    SystemConfig,
     canonical_jsonable,
 )
 from repro.dbms.config import InternalPolicy
-from repro.workloads.setups import get_setup
 
-#: Seed shared by every figure unless the paper's text says otherwise.
-DEFAULT_SEED = 11
+__all__ = [
+    "DEFAULT_SEED", "RunSpec", "execute_spec", "ResultCache",
+    "ParallelRunner", "RunnerStats", "run_grid", "get_runner",
+    "set_runner", "configure", "using_runner",
+]
 
 
 @dataclasses.dataclass(frozen=True)
 class RunSpec:
-    """One simulation run, declared as data.
+    """One simulation run, declared as data — now a thin adapter.
 
     A spec is everything a worker process needs to execute the run
     from scratch: the Table 2 setup id plus the knobs
     :func:`repro.experiments.runner.run_setup` exposes.  Specs are
     hashable, picklable, and content-addressable via
     :meth:`fingerprint`.
+
+    Since the Scenario API landed, :meth:`to_scenario` is the *only*
+    construction path: ``config()`` and ``fingerprint()`` delegate to
+    the equivalent :class:`~repro.core.scenario.ScenarioSpec`, which
+    produces byte-identical configs, digests, and results (pinned by
+    the golden-fingerprint corpus).
     """
 
     setup_id: int
@@ -78,42 +94,50 @@ class RunSpec:
     #: Free-form label carried into bench artifacts (never hashed).
     tag: str = ""
 
-    def config(self) -> AnyConfig:
-        """The full config this spec describes (system or cluster)."""
-        setup = get_setup(self.setup_id)
-        base = SystemConfig(
-            workload=setup.workload,
-            hardware=setup.hardware,
-            isolation=setup.isolation,
-            internal=self.internal,
-            mpl=self.mpl,
+    def to_scenario(self) -> ScenarioSpec:
+        """The equivalent scenario — the single construction path."""
+        return ScenarioSpec(
+            workload=WorkloadRef(setup_id=self.setup_id),
+            arrival=self.arrival,
+            topology=TopologySpec(
+                shards=self.shards,
+                routing=self.routing,
+                routing_weights=self.routing_weights,
+            ),
+            control=StaticMpl(self.mpl),
+            measurement=MeasurementSpec(
+                transactions=self.transactions,
+                warmup_fraction=self.warmup_fraction,
+            ),
             policy=self.policy,
+            internal=self.internal,
             high_priority_fraction=self.high_priority_fraction,
             arrival_rate=self.arrival_rate,
             seed=self.seed,
-            arrival=self.arrival,
+            tag=self.tag,
         )
-        if self.shards == 1:
-            return base
-        return ClusterConfig.scale_out(
-            base, self.shards, routing=self.routing,
-            routing_weights=self.routing_weights,
-        )
+
+    def config(self) -> AnyConfig:
+        """The full config this spec describes (system or cluster)."""
+        return self.to_scenario().build_config()
 
     def fingerprint(self) -> str:
         """Content hash of the run (config + measurement parameters)."""
-        return self.config().fingerprint(
-            transactions=self.transactions,
-            warmup_fraction=self.warmup_fraction,
-        )
+        return self.to_scenario().fingerprint()
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
+#: Anything the runner executes: a legacy RunSpec or a full scenario.
+AnySpec = Union[RunSpec, ScenarioSpec]
+
+
+def as_scenario(spec: AnySpec) -> ScenarioSpec:
+    """Normalize either spec flavor to the canonical scenario form."""
+    return spec if isinstance(spec, ScenarioSpec) else spec.to_scenario()
+
+
+def execute_spec(spec: AnySpec) -> RunResult:
     """Run one spec to completion (also the process-pool worker)."""
-    system = build_system(spec.config())
-    return system.run(
-        transactions=spec.transactions, warmup_fraction=spec.warmup_fraction
-    )
+    return execute_scenario(as_scenario(spec)).result
 
 
 class ResultCache:
@@ -142,13 +166,14 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
-    def store(self, key: str, spec: RunSpec, result: RunResult) -> None:
+    def store(self, key: str, spec: AnySpec, result: RunResult) -> None:
         """Atomically persist one run's result under its fingerprint."""
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        payload = {
-            "key": key,
-            "spec": {
+        if isinstance(spec, ScenarioSpec):
+            summary: Dict[str, Any] = spec.to_json_dict()
+        else:
+            summary = {
                 "setup_id": spec.setup_id,
                 "mpl": spec.mpl,
                 "transactions": spec.transactions,
@@ -161,7 +186,10 @@ class ResultCache:
                 "routing": spec.routing,
                 "routing_weights": canonical_jsonable(spec.routing_weights),
                 "tag": spec.tag,
-            },
+            }
+        payload = {
+            "key": key,
+            "spec": summary,
             "result": result.to_json_dict(),
         }
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
@@ -226,13 +254,13 @@ class ParallelRunner:
         #: Running totals across every :meth:`run` call on this runner.
         self.totals = RunnerStats()
 
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+    def run(self, specs: Sequence[AnySpec]) -> List[RunResult]:
         """Run a grid; the i-th result belongs to the i-th spec."""
         start = time.perf_counter()
         stats = RunnerStats(submitted=len(specs))
         keys = [spec.fingerprint() for spec in specs]
         results: Dict[str, RunResult] = {}
-        pending: List[Tuple[str, RunSpec]] = []
+        pending: List[Tuple[str, AnySpec]] = []
         seen: set = set()
         for key, spec in zip(keys, specs):
             if key in seen:
@@ -255,12 +283,12 @@ class ParallelRunner:
         self.totals.accumulate(stats)
         return [results[key] for key in keys]
 
-    def run_one(self, spec: RunSpec) -> RunResult:
+    def run_one(self, spec: AnySpec) -> RunResult:
         """Run a single spec through the cache (no pool spin-up)."""
         return self.run([spec])[0]
 
     def _execute(
-        self, pending: List[Tuple[str, RunSpec]]
+        self, pending: List[Tuple[str, AnySpec]]
     ) -> Iterator[Tuple[str, RunResult]]:
         if not pending:
             return
@@ -277,7 +305,7 @@ class ParallelRunner:
                 key, spec = futures[future]
                 yield key, self._finish(key, spec, future.result())
 
-    def _finish(self, key: str, spec: RunSpec, result: RunResult) -> RunResult:
+    def _finish(self, key: str, spec: AnySpec, result: RunResult) -> RunResult:
         if self.cache:
             self.cache.store(key, spec, result)
         return result
@@ -318,6 +346,6 @@ def using_runner(runner: ParallelRunner) -> Iterator[ParallelRunner]:
         set_runner(previous)
 
 
-def run_grid(specs: Sequence[RunSpec]) -> List[RunResult]:
+def run_grid(specs: Sequence[AnySpec]) -> List[RunResult]:
     """Submit a grid to the active runner (what every figure calls)."""
     return get_runner().run(list(specs))

@@ -15,6 +15,13 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.arrivals import ArrivalSpec
 from repro.core.controller import Thresholds
+from repro.core.scenario import (
+    MeasurementSpec,
+    ScenarioSpec,
+    StaticMpl,
+    TopologySpec,
+    WorkloadRef,
+)
 from repro.core.system import RunResult, SimulatedSystem, SystemConfig
 from repro.core.tuner import MplTuner, TuningResult
 from repro.dbms.config import InternalPolicy
@@ -76,6 +83,47 @@ def spec_for(
         shards=shards,
         routing=routing,
         routing_weights=routing_weights,
+        tag=tag,
+    )
+
+
+def scenario_for(
+    setup: Setup,
+    mpl: Optional[int] = None,
+    transactions: int = 1500,
+    seed: int = 11,
+    policy: str = "fifo",
+    internal: Optional[InternalPolicy] = None,
+    high_priority_fraction: float = 0.0,
+    arrival_rate: Optional[float] = None,
+    arrival: Optional[ArrivalSpec] = None,
+    shards: int = 1,
+    routing: str = "round_robin",
+    routing_weights: Optional[Tuple[float, ...]] = None,
+    warmup_fraction: float = 0.2,
+    tag: str = "",
+) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` equivalent of a :func:`run_setup` call.
+
+    The scenario-native sibling of :func:`spec_for` — same knobs, same
+    fingerprints (a static-control scenario hashes exactly like the
+    legacy spec), used by the figure grids.
+    """
+    return ScenarioSpec(
+        workload=WorkloadRef(setup_id=setup.setup_id),
+        arrival=arrival,
+        topology=TopologySpec(
+            shards=shards, routing=routing, routing_weights=routing_weights
+        ),
+        control=StaticMpl(mpl),
+        measurement=MeasurementSpec(
+            transactions=transactions, warmup_fraction=warmup_fraction
+        ),
+        policy=policy,
+        internal=internal,
+        high_priority_fraction=high_priority_fraction,
+        arrival_rate=arrival_rate,
+        seed=seed,
         tag=tag,
     )
 

@@ -14,8 +14,11 @@ substitution is behaviour-preserving.
 from __future__ import annotations
 
 import dataclasses
+import functools
+import hashlib
 import random
-from typing import List, Sequence
+import struct
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sim.distributions import Deterministic, Empirical, LogNormal
 from repro.workloads.spec import TransactionType, WorkloadSpec
@@ -52,6 +55,22 @@ class Trace:
         var = sum((d - mean) ** 2 for d in demands) / (n - 1)
         return var / mean**2 if mean else 0.0
 
+    @property
+    def digest(self) -> str:
+        """sha256 over the exact (arrival, demand) float stream.
+
+        The content identity of the trace: two traces share a digest
+        iff they replay bit-identically, which is what lets
+        :class:`~repro.core.arrivals.TraceArrivals` use it as the
+        cache-key contribution of a trace-driven scenario.
+        """
+        hasher = hashlib.sha256()
+        for record in self.records:
+            hasher.update(
+                struct.pack("<dd", record.arrival_time, record.service_demand)
+            )
+        return hasher.hexdigest()
+
 
 def _generate_trace(
     name: str,
@@ -85,6 +104,42 @@ def auction_site_trace(transactions: int = 10_000, seed: int = 2007) -> Trace:
         "auction-site", transactions, mean_demand_s=0.035, scv=2.2,
         arrival_rate=20.0, seed=seed,
     )
+
+
+#: Named trace factories: the machine-readable registry behind
+#: :func:`get_trace` and :class:`~repro.core.arrivals.TraceArrivals`.
+TRACE_FACTORIES: Dict[str, Callable[..., Trace]] = {
+    "online-retailer": online_retailer_trace,
+    "auction-site": auction_site_trace,
+}
+
+
+@functools.lru_cache(maxsize=32)
+def get_trace(
+    name: str,
+    transactions: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Trace:
+    """Materialize a named trace (None keeps a factory default).
+
+    Memoized: traces are immutable (frozen records), and one
+    trace-driven scenario otherwise regenerates the same stream
+    several times over — at spec construction (the content digest), at
+    workload resolution, at arrival build, and on every fingerprint
+    call.
+    """
+    factory = TRACE_FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown trace {name!r}; available: "
+            + ", ".join(sorted(TRACE_FACTORIES))
+        )
+    kwargs = {}
+    if transactions is not None:
+        kwargs["transactions"] = transactions
+    if seed is not None:
+        kwargs["seed"] = seed
+    return factory(**kwargs)
 
 
 def trace_workload(trace: Trace, db_mb: int = 512) -> WorkloadSpec:

@@ -309,10 +309,12 @@ class TestCli:
 
 class TestFigureGrids:
     def test_grids_are_data(self):
+        from repro.core.scenario import ScenarioSpec
+
         for key, builder in figures.FIGURE_GRIDS.items():
             grid = builder(fast=True)
             assert grid, key
-            assert all(isinstance(spec, RunSpec) for spec in grid)
+            assert all(isinstance(spec, ScenarioSpec) for spec in grid)
 
     def test_figure2_consumes_its_grid(self):
         mpls = (1, 5)
