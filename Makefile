@@ -18,9 +18,9 @@ BENCH_CACHE ?= .repro-bench-cache
 # coverage floor for the modules the cluster + scenario PRs introduced
 # (what CI enforces); the rest of the tree is reported, not gated
 COV_MIN     ?= 90
-COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station --cov=repro.core.scenario
+COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station --cov=repro.core.scenario --cov=repro.core.faults
 # figure grids the scenario round-trip check walks
-SCENARIO_GRIDS ?= 2 3 4 5 smoke sh po
+SCENARIO_GRIDS ?= 2 3 4 5 smoke sh po ft
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test lint bench cluster-bench kernel-bench profile reproduce smoke scenarios clean

@@ -25,6 +25,18 @@ pluggable arrival layer feeding the router:
   via :class:`~repro.core.system.MeasuredSystem`, so ``run`` /
   ``run_transactions`` / ``result`` behave identically.
 
+Replication and failure (Scenario API v2): each shard can carry a
+:class:`ReplicaGroup` (one primary + R replicas; writes pinned to the
+primary, reads fanned out deterministically, lowest-index election on
+primary death), and :class:`ClusteredSystem` exposes the fault
+transitions — :meth:`ClusteredSystem.kill_shard` /
+:meth:`ClusteredSystem.restore_shard` /
+:meth:`ClusteredSystem.degrade_shard` — that a
+:class:`~repro.core.faults.FaultInjector` drives on the simulated
+clock.  Kills are fail-stop at the admission boundary: in-flight
+transactions drain, queued ones are re-homed (election buffer or
+router re-route), so conservation holds through any fault timeline.
+
 Determinism: shard ``i``'s engine draws from
 ``RandomStreams(shard_config.seed)`` where shard 0 keeps the base seed
 and later shards derive theirs via
@@ -54,11 +66,15 @@ from repro.core.system import (
     content_digest,
 )
 from repro.dbms.engine import DatabaseEngine
-from repro.dbms.transaction import Transaction
+from repro.dbms.transaction import Transaction, TxStatus
 from repro.metrics.collector import MetricsCollector
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.random import RandomStreams, derive_seed
 from repro.sim.station import ROUTING_POLICIES, RouterStation, make_routing
+
+#: Read-fan-out policies a replica group understands: where read-only
+#: transactions land.  Writes always go to the primary.
+READ_FANOUT_POLICIES = ("primary", "round_robin", "least_in_flight")
 
 
 def split_mpl(
@@ -122,6 +138,16 @@ class ClusterConfig:
     shards: Tuple[SystemConfig, ...]
     routing: str = "round_robin"
     routing_weights: Optional[Tuple[float, ...]] = None
+    replicas_per_shard: int = 0
+    read_fanout: str = "round_robin"
+    election_timeout_s: float = 0.5
+
+    #: Post-v1 fields are omitted from the canonical encoding while at
+    #: their defaults, so every pre-existing cluster keeps its exact
+    #: content hash (and cache entries).
+    FINGERPRINT_OMIT_DEFAULTS = frozenset(
+        {"replicas_per_shard", "read_fanout", "election_timeout_s"}
+    )
 
     def __post_init__(self) -> None:
         if not self.shards:
@@ -130,6 +156,19 @@ class ClusterConfig:
             raise ValueError(
                 f"unknown routing policy {self.routing!r}; "
                 f"available: {', '.join(ROUTING_POLICIES)}"
+            )
+        if self.replicas_per_shard < 0:
+            raise ValueError(
+                f"replicas_per_shard must be >= 0, got {self.replicas_per_shard!r}"
+            )
+        if self.read_fanout not in READ_FANOUT_POLICIES:
+            raise ValueError(
+                f"unknown read fan-out {self.read_fanout!r}; "
+                f"available: {', '.join(READ_FANOUT_POLICIES)}"
+            )
+        if self.election_timeout_s < 0:
+            raise ValueError(
+                f"election_timeout_s must be >= 0, got {self.election_timeout_s!r}"
             )
         if self.routing_weights is not None:
             if len(self.routing_weights) != len(self.shards):
@@ -149,6 +188,9 @@ class ClusterConfig:
         shards: int,
         routing: str = "round_robin",
         routing_weights: Optional[Sequence[float]] = None,
+        replicas_per_shard: int = 0,
+        read_fanout: str = "round_robin",
+        election_timeout_s: float = 0.5,
     ) -> "ClusterConfig":
         """N identical shards from one base config.
 
@@ -157,7 +199,8 @@ class ClusterConfig:
         Shard 0 keeps the base seed — which is what makes
         ``scale_out(base, 1)`` bit-identical to the plain engine —
         and shard ``i > 0`` derives its seed from
-        ``(base.seed, "shard", i)``.
+        ``(base.seed, "shard", i)``.  Replica ``r`` of a shard derives
+        its seed from ``(shard_seed, "replica", r)``.
         """
         mpls = split_mpl(base.mpl, shards, routing_weights)
         configs = tuple(
@@ -169,7 +212,14 @@ class ClusterConfig:
             for index in range(shards)
         )
         weights = tuple(float(w) for w in routing_weights) if routing_weights else None
-        return cls(shards=configs, routing=routing, routing_weights=weights)
+        return cls(
+            shards=configs,
+            routing=routing,
+            routing_weights=weights,
+            replicas_per_shard=replicas_per_shard,
+            read_fanout=read_fanout,
+            election_timeout_s=election_timeout_s,
+        )
 
     # -- derived views -------------------------------------------------------
 
@@ -200,12 +250,12 @@ class ClusterConfig:
     def fingerprint(self, **extra: Any) -> str:
         """Content hash of this cluster (plus run parameters).
 
-        A one-shard cluster hashes to **exactly** its shard's
-        single-engine fingerprint: the two runs are bit-identical, so
-        sharing cache entries between the two representations is sound
-        (and pinned by the regression suite).
+        A one-shard cluster (with no replicas) hashes to **exactly**
+        its shard's single-engine fingerprint: the two runs are
+        bit-identical, so sharing cache entries between the two
+        representations is sound (and pinned by the regression suite).
         """
-        if len(self.shards) == 1:
+        if len(self.shards) == 1 and self.replicas_per_shard == 0:
             return self.shards[0].fingerprint(**extra)
         return content_digest(self.to_jsonable(), extra)
 
@@ -246,9 +296,19 @@ class ShardedExternalScheduler:
             total += frontend.mpl
         return total
 
-    def set_global_mpl(self, mpl: Optional[int]) -> List[Optional[int]]:
-        """Re-split a global MPL across the shards; returns the split."""
-        mpls = split_mpl(mpl, len(self.frontends), self.weights)
+    def set_global_mpl(
+        self,
+        mpl: Optional[int],
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[Optional[int]]:
+        """Re-split a global MPL across the shards; returns the split.
+
+        ``weights`` overrides the configured split weights for this
+        call — the elastic controller's hook for steering capacity
+        toward hot shards without touching the static configuration.
+        """
+        active = self.weights if weights is None else list(weights)
+        mpls = split_mpl(mpl, len(self.frontends), active)
         for frontend, shard_mpl in zip(self.frontends, mpls):
             frontend.set_mpl(shard_mpl)
         return mpls
@@ -298,14 +358,264 @@ class _ShardCollector(MetricsCollector):
         self._cluster.on_completion(tx)
 
 
+class ReplicaGroup:
+    """One primary + R replicas serving a single shard.
+
+    The group speaks the :class:`ExternalScheduler` surface (``submit``
+    / ``adopt`` / ``set_mpl`` / the aggregate counters), so it slots
+    behind the :class:`~repro.sim.station.RouterStation` and the
+    :class:`ShardedExternalScheduler` unchanged.  Placement rules:
+
+    * **writes** (``tx.is_update``) are pinned to the acting primary;
+    * **reads** fan out across live members by the configured policy —
+      ``primary`` (no fan-out), ``round_robin`` (cycle over live
+      members), or ``least_in_flight`` (fewest admitted + queued, ties
+      to the lowest index).  All three are RNG-free, so replicated runs
+      stay bit-identical under any ``--jobs N``.
+
+    Failover is deterministic: killing the acting primary fail-stops it
+    at the admission boundary (in-flight work drains, queued work moves
+    into the group's election buffer), and after ``election_timeout_s``
+    of simulated time the lowest-index live member is promoted and the
+    buffer flushes.  While the election runs, replicas keep serving
+    reads (unless fan-out is ``primary``).  A group whose last member
+    dies reports itself unavailable so the router can take the shard
+    out of rotation and re-home the evacuated queue.
+
+    All members share the shard's collector: the shard-level completion
+    stream, per-shard invariants, and the cluster tee behave exactly as
+    they do for a single-engine shard.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        members: Sequence[ExternalScheduler],
+        collector: MetricsCollector,
+        read_fanout: str = "round_robin",
+        election_timeout_s: float = 0.5,
+    ):
+        if not members:
+            raise ValueError("a replica group needs at least one member")
+        if read_fanout not in READ_FANOUT_POLICIES:
+            raise ValueError(
+                f"unknown read fan-out {read_fanout!r}; "
+                f"available: {', '.join(READ_FANOUT_POLICIES)}"
+            )
+        self.sim = sim
+        self.members = list(members)
+        self.collector = collector
+        self.read_fanout = read_fanout
+        self.election_timeout_s = election_timeout_s
+        self.alive: List[bool] = [True] * len(self.members)
+        self.primary = 0
+        self.elections = 0
+        self.handovers = 0  # queued transactions moved off a dead member
+        self._mpl = self.members[0].mpl
+        self._rr_next = 0
+        self._pending: List[Transaction] = []
+        self._electing = False
+
+    # -- ExternalScheduler surface -----------------------------------------
+
+    @property
+    def mpl(self) -> Optional[int]:
+        """The per-member admission limit (None = unlimited)."""
+        return self._mpl
+
+    def set_mpl(self, mpl: Optional[int]) -> None:
+        """Set every member's admission limit to ``mpl``.
+
+        The MPL is a per-engine limit: the primary and each replica
+        enforce the same bound on their own engine, mirroring how a
+        real fleet configures identical nodes.
+        """
+        self._mpl = mpl
+        for member in self.members:
+            member.set_mpl(mpl)
+
+    def submit(self, tx: Transaction) -> Event:
+        """Admit a transaction to the group; fires at commit with ``tx``.
+
+        Mirrors :meth:`ExternalScheduler.submit` — the group owns the
+        arrival accounting and completion event, then places the
+        transaction on a member (or the election buffer).
+        """
+        tx.arrival_time = self.sim.now
+        tx.status = TxStatus.QUEUED
+        done = self.sim.event()
+        tx._completion_event = done
+        self.collector.on_arrival(tx)
+        self._place(tx)
+        return done
+
+    def adopt(self, tx: Transaction) -> None:
+        """Accept a transaction re-homed from another shard (no new
+        arrival accounting, original completion event preserved)."""
+        self._place(tx)
+
+    @property
+    def in_service(self) -> int:
+        """Transactions inside any member's engine."""
+        return sum(member.in_service for member in self.members)
+
+    @property
+    def queue_length(self) -> int:
+        """Queued transactions, election buffer included."""
+        return (
+            sum(member.queue_length for member in self.members)
+            + len(self._pending)
+        )
+
+    @property
+    def dispatched(self) -> int:
+        return sum(member.dispatched for member in self.members)
+
+    @property
+    def completed(self) -> int:
+        return sum(member.completed for member in self.members)
+
+    # -- membership ---------------------------------------------------------
+
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def pending_count(self) -> int:
+        """Transactions buffered while the group has no acting primary."""
+        return len(self._pending)
+
+    @property
+    def electing(self) -> bool:
+        return self._electing
+
+    def live_members(self) -> List[int]:
+        """Indices of members currently accepting work."""
+        return [i for i, alive in enumerate(self.alive) if alive]
+
+    @property
+    def available(self) -> bool:
+        """Whether any member is alive (the router's liveness signal)."""
+        return any(self.alive)
+
+    # -- placement ----------------------------------------------------------
+
+    def _place(self, tx: Transaction) -> None:
+        if tx.is_update or self.read_fanout == "primary":
+            if self._electing or not self.alive[self.primary]:
+                self._pending.append(tx)
+            else:
+                self.members[self.primary].adopt(tx)
+            return
+        live = self.live_members()
+        if not live:
+            self._pending.append(tx)
+            return
+        if self.read_fanout == "round_robin":
+            index = live[self._rr_next % len(live)]
+            self._rr_next += 1
+        else:  # least_in_flight; ties break to the lowest index
+            index = min(
+                live,
+                key=lambda i: (
+                    self.members[i].in_service + self.members[i].queue_length,
+                    i,
+                ),
+            )
+        self.members[index].adopt(tx)
+
+    # -- failure transitions ------------------------------------------------
+
+    def kill_primary(self) -> Tuple[bool, str]:
+        """Fail-stop the acting primary (or the would-be winner during
+        an election).  Returns ``(still_serving, detail)``.
+
+        In-flight transactions on the victim drain to completion;
+        its queued transactions move into the election buffer.  When
+        members survive, a deterministic election promotes the
+        lowest-index live member after ``election_timeout_s``.
+        """
+        live = self.live_members()
+        if not live:
+            return False, "group already dead"
+        victim = self.primary if self.alive[self.primary] else live[0]
+        self.alive[victim] = False
+        moved = self.members[victim].drain_queue()
+        self.handovers += len(moved)
+        self._pending.extend(moved)
+        if not self.available:
+            return False, f"member {victim} killed, no survivors"
+        if not self._electing:
+            self._start_election()
+        return True, (
+            f"member {victim} killed, {len(moved)} queued buffered, "
+            f"election started"
+        )
+
+    def _start_election(self) -> None:
+        self._electing = True
+        self.elections += 1
+        timeout = self.sim.timeout(self.election_timeout_s)
+        timeout.add_callback(self._finish_election)
+
+    def _finish_election(self, _event: Event) -> None:
+        live = self.live_members()
+        self._electing = False
+        if not live:  # the remaining members died during the election
+            return
+        self.primary = live[0]
+        self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        pending, self._pending = self._pending, []
+        for tx in pending:
+            self._place(tx)
+
+    def evacuate(self) -> List[Transaction]:
+        """Drain every queued transaction out of a fully-dead group so
+        the router can re-home it (in-flight work still drains)."""
+        moved, self._pending = list(self._pending), []
+        for member in self.members:
+            moved.extend(member.drain_queue())
+        return moved
+
+    def restore(self) -> List[int]:
+        """Revive every dead member (as replicas) and flush the buffer.
+
+        A fully-dead group comes back with its lowest-index member as
+        the acting primary; a serving group just regains replicas.
+        Returns the indices revived.
+        """
+        had_live = self.available
+        revived = [i for i, alive in enumerate(self.alive) if not alive]
+        for index in revived:
+            self.alive[index] = True
+            self.members[index].set_mpl(self._mpl)
+        if not self._electing:
+            if not had_live or not self.alive[self.primary]:
+                self.primary = self.live_members()[0]
+            self._flush_pending()
+        return revived
+
+
 @dataclasses.dataclass
 class _Shard:
-    """One shard's live pieces."""
+    """One shard's live pieces.
+
+    ``frontend`` is what the router targets — the plain
+    :class:`ExternalScheduler` for an unreplicated shard, the
+    :class:`ReplicaGroup` otherwise (``group`` aliases it in that
+    case).  ``engine``/``engines`` expose the primary's engine and the
+    full member list for utilization snapshots.
+    """
 
     config: SystemConfig
     engine: DatabaseEngine
-    frontend: ExternalScheduler
+    frontend: Union[ExternalScheduler, ReplicaGroup]
     collector: _ShardCollector
+    group: Optional[ReplicaGroup] = None
+    engines: Tuple[DatabaseEngine, ...] = ()
 
 
 class _ShardView:
@@ -357,6 +667,7 @@ class ClusteredSystem(MeasuredSystem):
         self.sim = Simulator()
         self.collector = MetricsCollector()
         self.shards: List[_Shard] = []
+        self._degraded: Dict[int, Optional[int]] = {}
         base_streams: Optional[RandomStreams] = None
         for shard_config in config.shards:
             collector = _ShardCollector(self.collector)
@@ -365,7 +676,35 @@ class ClusteredSystem(MeasuredSystem):
             )
             if base_streams is None:
                 base_streams = streams
-            self.shards.append(_Shard(shard_config, engine, frontend, collector))
+            engines: Tuple[DatabaseEngine, ...] = (engine,)
+            group: Optional[ReplicaGroup] = None
+            target: Union[ExternalScheduler, ReplicaGroup] = frontend
+            if config.replicas_per_shard > 0:
+                members = [frontend]
+                for replica_index in range(1, config.replicas_per_shard + 1):
+                    replica_config = dataclasses.replace(
+                        shard_config,
+                        seed=derive_seed(
+                            shard_config.seed, "replica", replica_index
+                        ),
+                    )
+                    _, replica_engine, replica_frontend = build_engine_stack(
+                        self.sim, replica_config, collector
+                    )
+                    members.append(replica_frontend)
+                    engines += (replica_engine,)
+                group = ReplicaGroup(
+                    self.sim,
+                    members,
+                    collector,
+                    read_fanout=config.read_fanout,
+                    election_timeout_s=config.election_timeout_s,
+                )
+                target = group
+            self.shards.append(
+                _Shard(shard_config, engine, target, collector,
+                       group=group, engines=engines)
+            )
         frontends = [shard.frontend for shard in self.shards]
         self.scheduler = ShardedExternalScheduler(
             frontends, weights=config.routing_weights
@@ -393,12 +732,16 @@ class ClusteredSystem(MeasuredSystem):
         return self.scheduler.global_mpl
 
     def _utilization_snapshot(self, elapsed: float) -> Dict[str, float]:
-        if len(self.shards) == 1:
+        if len(self.shards) == 1 and self.shards[0].group is None:
             return self.shards[0].engine.utilization_snapshot(elapsed)
         snapshot: Dict[str, float] = {}
         for index, shard in enumerate(self.shards):
-            for name, value in shard.engine.utilization_snapshot(elapsed).items():
-                snapshot[f"shard{index}/{name}"] = value
+            for member, engine in enumerate(shard.engines):
+                prefix = (
+                    f"shard{index}" if member == 0 else f"shard{index}/r{member}"
+                )
+                for name, value in engine.utilization_snapshot(elapsed).items():
+                    snapshot[f"{prefix}/{name}"] = value
         return snapshot
 
     # -- per-shard access ----------------------------------------------------
@@ -434,6 +777,79 @@ class ClusteredSystem(MeasuredSystem):
             for priority, stats in resolved.class_stats().items():
                 totals[priority] = totals.get(priority, 0) + stats.requests
         return totals
+
+    # -- fault transitions ---------------------------------------------------
+
+    def _check_shard(self, index: int) -> None:
+        if not 0 <= index < len(self.shards):
+            raise ValueError(
+                f"shard index {index} out of range for {len(self.shards)} shards"
+            )
+
+    def kill_shard(self, index: int) -> str:
+        """Fail-stop shard ``index``'s acting primary (or the shard).
+
+        With replicas the group buffers and elects (the shard stays in
+        the routing rotation); without — or once the last member dies —
+        the router takes the shard out of rotation and re-homes its
+        queued transactions onto the survivors.  In-flight work always
+        drains to completion.  Returns a human-readable detail string
+        for the fault log.
+        """
+        self._check_shard(index)
+        shard = self.shards[index]
+        if shard.group is not None:
+            still_serving, detail = shard.group.kill_primary()
+            if not still_serving and self.router.alive[index]:
+                evacuated = shard.group.evacuate()
+                self.router.set_alive(index, False)
+                for tx in evacuated:
+                    self.router.reroute(tx, index)
+                detail += f"; shard out of rotation, {len(evacuated)} re-routed"
+            return detail
+        if not self.router.alive[index]:
+            return "shard already dead"
+        self.router.set_alive(index, False)
+        moved = shard.frontend.drain_queue()
+        for tx in moved:
+            self.router.reroute(tx, index)
+        return f"shard out of rotation, {len(moved)} queued re-routed"
+
+    def restore_shard(self, index: int) -> str:
+        """Bring shard ``index`` back: revive members, undo any
+        degradation, and return the shard to the routing rotation."""
+        self._check_shard(index)
+        shard = self.shards[index]
+        original = self._degraded.pop(index, False)
+        if original is not False:
+            shard.frontend.set_mpl(original)
+        detail = ""
+        if shard.group is not None:
+            revived = shard.group.restore()
+            detail = f"{len(revived)} members revived"
+        self.router.set_alive(index, True)
+        return detail or "shard back in rotation"
+
+    def degrade_shard(self, index: int, factor: float) -> str:
+        """Scale shard ``index``'s MPL by ``factor`` (brown-out).
+
+        The pre-degrade limit is remembered once (repeated degrades
+        compound) and restored by :meth:`restore_shard`.  Unlimited
+        shards have no admission limit to shrink, so this is a no-op
+        for them.
+        """
+        self._check_shard(index)
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degrade factor must be in (0, 1], got {factor!r}")
+        shard = self.shards[index]
+        current = shard.frontend.mpl
+        if current is None:
+            return "unlimited MPL, degrade is a no-op"
+        if index not in self._degraded:
+            self._degraded[index] = current
+        new_mpl = max(1, int(current * factor))
+        shard.frontend.set_mpl(new_mpl)
+        return f"mpl {current} -> {new_mpl}"
 
     # -- per-shard MPL control ----------------------------------------------
 
@@ -484,7 +900,7 @@ def build_system(config: AnyConfig) -> MeasuredSystem:
     legacy configs, clusters, scenarios — funnels through one door.
     """
     if isinstance(config, ClusterConfig):
-        if len(config.shards) == 1:
+        if len(config.shards) == 1 and config.replicas_per_shard == 0:
             # bit-identical to the plain engine, and cheaper to build
             return SimulatedSystem(config.shards[0])
         return ClusteredSystem(config)

@@ -499,3 +499,168 @@ class PerClassSloController:
             converged=False,
             trajectory=trajectory,
         )
+
+
+# -- elastic capacity control (clusters) --------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ElasticAction:
+    """One decision the elastic controller took at a tick."""
+
+    t: float
+    kind: str  # "resplit" | "park" | "activate"
+    mpls: tuple
+    detail: str = ""
+
+
+@dataclasses.dataclass
+class ElasticReport:
+    """The elastic controller's decision log for one run.
+
+    Mutable on purpose: the controller appends actions while the
+    measurement window runs, and the caller reads the report after.
+    """
+
+    interval_s: float
+    global_mpl: int
+    actions: List[ElasticAction] = dataclasses.field(default_factory=list)
+    final_mpls: tuple = ()
+
+    @property
+    def resplits(self) -> int:
+        return sum(1 for action in self.actions if action.kind == "resplit")
+
+
+class ElasticCapacityController:
+    """Re-splits a cluster's global MPL toward hot shards, on the clock.
+
+    A simulated-time process ticks every ``interval_s``: it measures
+    each routable shard's load (admitted + queued), re-splits the
+    global MPL proportionally to load via
+    :meth:`~repro.core.cluster.ShardedExternalScheduler.set_global_mpl`
+    (shards that are dead or parked get the floor of 1), and manages
+    the rotation — parking the least-loaded shard when the cluster's
+    admitted fraction falls below ``low_watermark`` and re-activating a
+    parked shard when it climbs above ``high_watermark``.  Every input
+    is deterministic simulation state, so elastic runs stay
+    bit-identical for any ``--jobs N``.
+
+    The loop ends after ``max_ticks`` so a run whose workload drains
+    early still terminates (the kernel stops on its completion target
+    regardless).
+    """
+
+    #: Load-proportional weight floor for dead/parked shards: small
+    #: enough that the largest-remainder split leaves them the minimum
+    #: of 1, without dividing by zero.
+    PARKED_WEIGHT = 1e-9
+
+    def __init__(
+        self,
+        system,
+        global_mpl: int,
+        interval_s: float = 2.0,
+        high_watermark: float = 0.85,
+        low_watermark: float = 0.25,
+        min_shards: int = 1,
+        max_ticks: int = 1000,
+    ):
+        if global_mpl < len(system.shards):
+            raise ValueError(
+                f"global MPL {global_mpl} cannot cover "
+                f"{len(system.shards)} shards (need >= 1 each)"
+            )
+        self.system = system
+        self.global_mpl = global_mpl
+        self.interval_s = interval_s
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.min_shards = min_shards
+        self.max_ticks = max_ticks
+        self.report = ElasticReport(interval_s=interval_s, global_mpl=global_mpl)
+        self._last_mpls: Optional[tuple] = None
+
+    def install(self) -> "ElasticCapacityController":
+        """Arm the tick process; the initial even split applies now."""
+        mpls = self.system.scheduler.set_global_mpl(self.global_mpl)
+        self._last_mpls = tuple(mpls)
+        self.report.final_mpls = tuple(mpls)
+        self.system.sim.process(self._loop(), name="elastic")
+        return self
+
+    def _loop(self):
+        sim = self.system.sim
+        for _tick in range(self.max_ticks):
+            yield sim.timeout(self.interval_s)
+            self._rebalance()
+
+    # -- one tick ----------------------------------------------------------
+
+    def _active_indices(self) -> List[int]:
+        router = self.system.router
+        return [i for i in range(len(self.system.shards)) if router.routable(i)]
+
+    def _rebalance(self) -> None:
+        system = self.system
+        active = self._active_indices()
+        if not active:
+            return
+        loads = [
+            shard.frontend.in_service + shard.frontend.queue_length
+            for shard in system.shards
+        ]
+        admitted = sum(system.shards[i].frontend.in_service for i in active)
+        utilization = admitted / max(1, self.global_mpl)
+        self._manage_rotation(active, loads, utilization)
+        active = self._active_indices()
+        weights = [
+            (1.0 + loads[i]) if i in set(active) else self.PARKED_WEIGHT
+            for i in range(len(system.shards))
+        ]
+        mpls = tuple(
+            system.scheduler.set_global_mpl(self.global_mpl, weights=weights)
+        )
+        self.report.final_mpls = mpls
+        if mpls != self._last_mpls:
+            self._last_mpls = mpls
+            self.report.actions.append(
+                ElasticAction(
+                    t=system.sim.now,
+                    kind="resplit",
+                    mpls=mpls,
+                    detail=f"loads={tuple(loads)}",
+                )
+            )
+
+    def _manage_rotation(
+        self, active: List[int], loads: List[int], utilization: float
+    ) -> None:
+        system = self.system
+        router = system.router
+        if utilization > self.high_watermark:
+            # scale out: bring the lowest-index parked shard back
+            for index in range(len(system.shards)):
+                if router.alive[index] and not router.in_rotation[index]:
+                    router.set_rotation(index, True)
+                    self.report.actions.append(
+                        ElasticAction(
+                            t=system.sim.now, kind="activate", mpls=(),
+                            detail=f"shard {index} back in rotation "
+                                   f"(utilization {utilization:.2f})",
+                        )
+                    )
+                    return
+            return
+        if utilization < self.low_watermark and len(active) > self.min_shards:
+            # scale in: park the least-loaded active shard (ties to the
+            # highest index, so shard 0 parks last) and let it drain
+            index = min(reversed(active), key=lambda i: loads[i])
+            router.set_rotation(index, False)
+            self.report.actions.append(
+                ElasticAction(
+                    t=system.sim.now, kind="park", mpls=(),
+                    detail=f"shard {index} parked "
+                           f"(utilization {utilization:.2f})",
+                )
+            )

@@ -1,0 +1,266 @@
+"""Fault injection: a scheduled timeline of cluster failures.
+
+A :class:`FaultSpec` is the fourth scenario axis — *what goes wrong and
+when*.  It is a frozen, fingerprintable value like the other spec axes:
+a tuple of events (:class:`KillShard`, :class:`RestoreShard`,
+:class:`DegradeShard`), each pinned to a simulated-clock instant, with
+a strict JSON codec that rejects unknown keys.
+
+The :class:`FaultInjector` turns the spec into behaviour: it arms one
+simulator timeout per event, and each callback drives the matching
+:class:`~repro.core.cluster.ClusteredSystem` transition
+(``kill_shard`` / ``restore_shard`` / ``degrade_shard``).  Every
+applied event is logged with its fire time so a run's fault history
+lands in the :class:`~repro.core.scenario.ScenarioOutcome`.
+
+Fault semantics are fail-stop at the admission boundary: a killed node
+stops accepting new work, in-flight transactions drain to completion,
+and queued-but-undispatched transactions are re-homed (replica-group
+election buffer or router re-route) — so the cluster-wide conservation
+law ``routed = completed + in-service + queued + buffered`` holds
+through any kill/restore sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.system import canonical_jsonable, content_digest
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: something happens to ``shard`` at ``at``."""
+
+    at: float
+    shard: int
+
+    #: Codec tag; subclasses override.
+    kind = "fault"
+
+    def __post_init__(self):
+        if not isinstance(self.at, (int, float)) or isinstance(self.at, bool):
+            raise ValueError(f"fault time must be a number, got {self.at!r}")
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at!r}")
+        if not isinstance(self.shard, int) or isinstance(self.shard, bool):
+            raise ValueError(f"fault shard must be an int, got {self.shard!r}")
+        if self.shard < 0:
+            raise ValueError(f"fault shard must be >= 0, got {self.shard!r}")
+
+    def fingerprint(self) -> str:
+        """Content digest of this single event (class name included)."""
+        return content_digest(canonical_jsonable(self), {})
+
+    def describe(self) -> str:
+        return f"t={self.at:g}s {self.kind} shard {self.shard}"
+
+
+@dataclasses.dataclass(frozen=True)
+class KillShard(FaultEvent):
+    """Fail-stop the shard's acting primary (or the whole shard).
+
+    With replicas the group elects a new primary after its election
+    timeout; without replicas the router takes the shard out of
+    rotation and re-homes its queued work.
+    """
+
+    kind = "kill"
+
+
+@dataclasses.dataclass(frozen=True)
+class RestoreShard(FaultEvent):
+    """Bring a shard's dead members back (and undo any degrade).
+
+    Revived members rejoin as replicas; a fully-dead shard comes back
+    with its lowest-index member as primary and re-enters the routing
+    rotation.
+    """
+
+    kind = "restore"
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradeShard(FaultEvent):
+    """Scale the shard's MPL by ``factor`` (partial brown-out).
+
+    A no-op for unlimited-MPL shards: there is no admission limit to
+    shrink.  ``RestoreShard`` undoes the degradation.
+    """
+
+    kind = "degrade"
+    factor: float = 0.5
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not isinstance(self.factor, (int, float)) or isinstance(self.factor, bool):
+            raise ValueError(f"degrade factor must be a number, got {self.factor!r}")
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError(
+                f"degrade factor must be in (0, 1], got {self.factor!r}"
+            )
+
+    def describe(self) -> str:
+        return f"t={self.at:g}s degrade shard {self.shard} to {self.factor:g}x"
+
+
+#: Event-type registry for the JSON codec (mirrors the control/arrival
+#: registries in :mod:`repro.core.scenario`).
+FAULT_EVENT_TYPES: Dict[str, type] = {
+    "kill": KillShard,
+    "restore": RestoreShard,
+    "degrade": DegradeShard,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """The fault axis of a scenario: an ordered tuple of events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+        if not self.events:
+            raise ValueError("a FaultSpec needs at least one event")
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ValueError(
+                    f"fault events must be FaultEvent instances, got {event!r}"
+                )
+
+    def max_shard(self) -> int:
+        """Highest shard index any event touches."""
+        return max(event.shard for event in self.events)
+
+    def fingerprint(self) -> str:
+        """Content digest of the whole timeline."""
+        return content_digest(canonical_jsonable(self), {})
+
+    def event_fingerprints(self) -> Tuple[str, ...]:
+        """Per-event digests (each event is individually addressable)."""
+        return tuple(event.fingerprint() for event in self.events)
+
+
+# -- JSON codec ---------------------------------------------------------------
+
+
+def encode_fault_event(event: FaultEvent) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"type": event.kind}
+    for field in dataclasses.fields(event):
+        payload[field.name] = getattr(event, field.name)
+    return payload
+
+
+def decode_fault_event(payload: Any) -> FaultEvent:
+    if not isinstance(payload, dict):
+        raise ValueError(f"fault event must be an object, got {payload!r}")
+    data = dict(payload)
+    kind = data.pop("type", None)
+    cls = FAULT_EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault event type {kind!r}; "
+            f"available: {', '.join(sorted(FAULT_EVENT_TYPES))}"
+        )
+    known = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown keys for fault event {kind!r}: {sorted(unknown)!r}"
+        )
+    return cls(**data)
+
+
+def encode_fault_spec(spec: Optional[FaultSpec]) -> Optional[Dict[str, Any]]:
+    if spec is None:
+        return None
+    return {"events": [encode_fault_event(event) for event in spec.events]}
+
+
+def decode_fault_spec(payload: Any) -> Optional[FaultSpec]:
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ValueError(f"faults must be an object, got {payload!r}")
+    unknown = set(payload) - {"events"}
+    if unknown:
+        raise ValueError(f"unknown keys for faults: {sorted(unknown)!r}")
+    events = payload.get("events")
+    if not isinstance(events, list):
+        raise ValueError(f"faults.events must be a list, got {events!r}")
+    return FaultSpec(events=tuple(decode_fault_event(event) for event in events))
+
+
+# -- execution ----------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class AppliedFault:
+    """One fault event as it actually fired during a run."""
+
+    at: float
+    kind: str
+    shard: int
+    detail: str = ""
+
+    def jsonable(self) -> Dict[str, Any]:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "shard": self.shard,
+            "detail": self.detail,
+        }
+
+
+class FaultInjector:
+    """Arms a :class:`FaultSpec` timeline on a clustered system's clock.
+
+    Each event becomes one simulator timeout whose callback drives the
+    matching cluster transition.  The injector is passive after
+    :meth:`arm` — the kernel fires the events as simulated time
+    advances, interleaved deterministically with the workload.
+    """
+
+    def __init__(self, system, spec: FaultSpec):
+        self.system = system
+        self.spec = spec
+        self.applied: List[AppliedFault] = []
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every event; call once, before the run starts."""
+        if self._armed:
+            raise ValueError("fault injector is already armed")
+        self._armed = True
+        sim = self.system.sim
+        for event in self.spec.events:
+            delay = event.at - sim.now
+            if delay < 0:
+                raise ValueError(
+                    f"fault at t={event.at:g}s is in the past (now={sim.now:g}s)"
+                )
+            timeout = sim.timeout(delay)
+            timeout.add_callback(lambda _ev, e=event: self._apply(e))
+
+    def _apply(self, event: FaultEvent) -> None:
+        system = self.system
+        if isinstance(event, KillShard):
+            detail = system.kill_shard(event.shard)
+        elif isinstance(event, RestoreShard):
+            detail = system.restore_shard(event.shard)
+        elif isinstance(event, DegradeShard):
+            detail = system.degrade_shard(event.shard, event.factor)
+        else:  # pragma: no cover - registry keeps this unreachable
+            raise ValueError(f"unknown fault event {event!r}")
+        self.applied.append(
+            AppliedFault(
+                at=system.sim.now, kind=event.kind, shard=event.shard,
+                detail=detail or "",
+            )
+        )
+
+    def applied_jsonable(self) -> List[Dict[str, Any]]:
+        """The fault history in JSON-friendly form."""
+        return [fault.jsonable() for fault in self.applied]

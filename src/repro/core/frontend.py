@@ -91,6 +91,31 @@ class ExternalScheduler:
         self._dispatch()
         return done
 
+    def adopt(self, tx: Transaction) -> None:
+        """Accept a transaction already admitted elsewhere.
+
+        The failover hand-off: a transaction drained from a dead
+        shard's queue keeps its original arrival time and completion
+        event (its source is still waiting on that event), so adoption
+        is queue-entry only — no arrival accounting, no new event.
+        """
+        self.policy.push(tx)
+        self._dispatch()
+
+    def drain_queue(self) -> list:
+        """Remove and return every queued (undispatched) transaction.
+
+        Transactions already inside the engine are untouched — a
+        killed node is fail-stop at the admission boundary, so
+        in-flight work drains to completion while queued work is
+        re-homed by the caller.
+        """
+        drained = []
+        policy = self.policy
+        while len(policy) != 0:
+            drained.append(policy.pop())
+        return drained
+
     @property
     def queue_length(self) -> int:
         """Transactions waiting in the external queue."""

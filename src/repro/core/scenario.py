@@ -1,9 +1,9 @@
-"""Scenario API v1: workload × arrivals × topology × control as specs.
+"""Scenario API v2: workload × arrivals × topology × control × faults.
 
 The paper's core move is *external* control — the MPL loop wraps an
 unmodified DBMS, so the whole experiment is configuration, not engine
 code.  This module makes that literal: a :class:`ScenarioSpec` composes
-four orthogonal, individually-fingerprinted sub-specs
+orthogonal, individually-fingerprinted sub-specs
 
 * :class:`WorkloadRef` — *what runs*: a Table 2 setup id, or a named
   service-demand trace (:mod:`repro.workloads.traces`);
@@ -11,14 +11,25 @@ four orthogonal, individually-fingerprinted sub-specs
   (closed / open / partly-open / modulated / trace replay), the seam
   PR 2 introduced, reused unchanged;
 * :class:`TopologySpec` — *where it runs*: shard count, routing
-  policy, routing weights (the cluster layer of PR 3);
+  policy, routing weights (the cluster layer of PR 3), and — new in
+  v2 — ``replicas_per_shard`` / ``read_fanout`` /
+  ``election_timeout_s`` describing one
+  :class:`~repro.core.cluster.ReplicaGroup` per shard;
 * :class:`ControlSpec` — *who turns the knob*: a static MPL
   (:class:`StaticMpl`), the paper's §4 feedback loop
-  (:class:`FeedbackMpl`), or a per-class SLO loop
+  (:class:`FeedbackMpl`), a per-class SLO loop
   (:class:`PerClassSlo`) holding HIGH's p95 under a target while
-  maximizing LOW throughput;
+  maximizing LOW throughput, or — new in v2 — elastic capacity
+  (:class:`ElasticMpl`) re-splitting the global MPL toward hot shards
+  and parking/activating shards on watermarks;
+* :class:`~repro.core.faults.FaultSpec` — *what goes wrong*: an
+  optional kill/restore/degrade timeline a
+  :class:`~repro.core.faults.FaultInjector` drives on the simulated
+  clock (new in v2);
 
-plus a :class:`MeasurementSpec` (transactions, warmup, metric set).
+plus a :class:`MeasurementSpec` (transactions, warmup, metric set —
+including the v2 ``timeline`` family that buckets throughput/p95 over
+simulated time for failover plots).
 Scenarios are pure data: frozen dataclasses that JSON round-trip
 (:meth:`ScenarioSpec.to_json_dict` / :meth:`ScenarioSpec.from_json_dict`),
 pickle into worker processes, and content-hash into the parallel
@@ -53,6 +64,7 @@ from repro.core.arrivals import (
     TraceArrivals,
 )
 from repro.core.cluster import (
+    READ_FANOUT_POLICIES,
     AnyConfig,
     ClusterConfig,
     ClusteredSystem,
@@ -61,10 +73,21 @@ from repro.core.cluster import (
 from repro.core.controller import (
     Baseline,
     ControllerReport,
+    ElasticCapacityController,
+    ElasticReport,
     MplController,
     PerClassSloController,
     SloReport,
     Thresholds,
+)
+from repro.core.faults import (
+    FaultInjector,
+    FaultSpec,
+    KillShard,
+    RestoreShard,
+    decode_fault_event,
+    decode_fault_spec,
+    encode_fault_spec,
 )
 from repro.core.system import (
     MeasuredSystem,
@@ -89,7 +112,7 @@ from repro.sim.station import ROUTING_POLICIES
 DEFAULT_SEED = 11
 
 #: Metric families a :class:`MeasurementSpec` may request.
-METRIC_SETS = ("standard", "percentiles")
+METRIC_SETS = ("standard", "percentiles", "timeline")
 
 #: Response-time percentiles reported by the ``percentiles`` metric set.
 REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
@@ -105,7 +128,29 @@ def component_fingerprint(spec: Any) -> str:
     return content_digest(canonical_jsonable(spec), {})
 
 
-# -- the four axes -------------------------------------------------------------
+class ScenarioValidationError(ValueError):
+    """Every problem found in a scenario payload, reported at once.
+
+    ``errors`` is a list of ``(path, message)`` pairs with
+    JSON-pointer-style paths (``/topology``, ``/faults/events/2``) so
+    callers — the CLI in particular — can print one line per problem
+    instead of failing on the first bad key.  Produced by
+    :meth:`ScenarioSpec.validate`.
+    """
+
+    def __init__(self, errors: Sequence[Tuple[str, str]]):
+        self.errors: List[Tuple[str, str]] = [
+            (str(path), str(message)) for path, message in errors
+        ]
+        lines = "\n".join(
+            f"  {path or '/'}: {message}" for path, message in self.errors
+        )
+        super().__init__(
+            f"{len(self.errors)} scenario problem(s):\n{lines}"
+        )
+
+
+# -- the axes ------------------------------------------------------------------
 
 
 @dataclasses.dataclass(frozen=True)
@@ -146,11 +191,28 @@ class WorkloadRef:
 
 @dataclasses.dataclass(frozen=True)
 class TopologySpec:
-    """Where it runs: N engines behind a router (1 = the plain engine)."""
+    """Where it runs: N engines behind a router (1 = the plain engine).
+
+    ``replicas_per_shard`` puts a
+    :class:`~repro.core.cluster.ReplicaGroup` behind each router slot:
+    one primary + R replicas, writes pinned to the primary, reads
+    fanned out by ``read_fanout`` (``primary`` / ``round_robin`` /
+    ``least_in_flight``), with a deterministic lowest-index election
+    ``election_timeout_s`` of simulated time after a primary dies.
+    """
 
     shards: int = 1
     routing: str = "round_robin"
     routing_weights: Optional[Tuple[float, ...]] = None
+    replicas_per_shard: int = 0
+    read_fanout: str = "round_robin"
+    election_timeout_s: float = 0.5
+
+    #: v2 fields omitted from the canonical encoding at their defaults,
+    #: so every v1 topology keeps its exact component digest.
+    FINGERPRINT_OMIT_DEFAULTS = frozenset(
+        {"replicas_per_shard", "read_fanout", "election_timeout_s"}
+    )
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -170,6 +232,19 @@ class TopologySpec:
                 raise ValueError(
                     f"routing weights must be positive, got {self.routing_weights!r}"
                 )
+        if self.replicas_per_shard < 0:
+            raise ValueError(
+                f"replicas_per_shard must be >= 0, got {self.replicas_per_shard!r}"
+            )
+        if self.read_fanout not in READ_FANOUT_POLICIES:
+            raise ValueError(
+                f"unknown read fan-out {self.read_fanout!r}; "
+                f"available: {', '.join(READ_FANOUT_POLICIES)}"
+            )
+        if self.election_timeout_s < 0:
+            raise ValueError(
+                f"election_timeout_s must be >= 0, got {self.election_timeout_s!r}"
+            )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -179,6 +254,11 @@ class MeasurementSpec:
     transactions: int = 1500
     warmup_fraction: float = 0.2
     metrics: Tuple[str, ...] = ("standard",)
+    #: Bucket width (simulated seconds) for the ``timeline`` metric set.
+    timeline_bucket_s: float = 1.0
+
+    #: v2 field omitted from the canonical encoding at its default.
+    FINGERPRINT_OMIT_DEFAULTS = frozenset({"timeline_bucket_s"})
 
     def __post_init__(self) -> None:
         if self.transactions < 1:
@@ -196,6 +276,10 @@ class MeasurementSpec:
             raise ValueError(
                 f"unknown metric sets {sorted(unknown)!r}; "
                 f"available: {', '.join(METRIC_SETS)}"
+            )
+        if self.timeline_bucket_s <= 0:
+            raise ValueError(
+                f"timeline_bucket_s must be positive, got {self.timeline_bucket_s!r}"
             )
 
 
@@ -408,13 +492,76 @@ class PerClassSlo(ControlSpec):
 
 
 @dataclasses.dataclass(frozen=True)
+class ElasticMpl(ControlSpec):
+    """Elastic capacity: periodic global-MPL re-split + shard rotation.
+
+    Installs an
+    :class:`~repro.core.controller.ElasticCapacityController` on the
+    cluster's simulated clock: every ``interval_s`` the global ``mpl``
+    budget is re-split toward loaded shards (via
+    :meth:`~repro.core.cluster.ShardedExternalScheduler.set_global_mpl`
+    with load-proportional weights), shards are parked out of the
+    routing rotation when the admitted fraction drops below
+    ``low_watermark`` and re-activated above ``high_watermark``.  This
+    is how a scenario absorbs ``hash``-routing skew, ``tv`` load
+    swings, or a fault timeline — clustered topologies only.
+    """
+
+    mpl: int = 16
+    interval_s: float = 2.0
+    high_watermark: float = 0.85
+    low_watermark: float = 0.25
+    min_shards: int = 1
+    max_ticks: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.mpl < 1:
+            raise ValueError(f"mpl must be >= 1, got {self.mpl!r}")
+        if self.interval_s <= 0:
+            raise ValueError(
+                f"interval_s must be positive, got {self.interval_s!r}"
+            )
+        if not 0.0 <= self.low_watermark < self.high_watermark <= 1.0:
+            raise ValueError(
+                "need 0 <= low_watermark < high_watermark <= 1, got "
+                f"{self.low_watermark!r} / {self.high_watermark!r}"
+            )
+        if self.min_shards < 1:
+            raise ValueError(
+                f"min_shards must be >= 1, got {self.min_shards!r}"
+            )
+        if self.max_ticks < 1:
+            raise ValueError(f"max_ticks must be >= 1, got {self.max_ticks!r}")
+
+    def config_mpl(self) -> Optional[int]:
+        return self.mpl
+
+    def apply(self, system, scenario):
+        if not isinstance(system, ClusteredSystem):
+            raise ValueError(
+                "ElasticMpl needs a clustered topology (shards > 1 or "
+                "replicas_per_shard > 0)"
+            )
+        controller = ElasticCapacityController(
+            system,
+            global_mpl=self.mpl,
+            interval_s=self.interval_s,
+            high_watermark=self.high_watermark,
+            low_watermark=self.low_watermark,
+            min_shards=self.min_shards,
+            max_ticks=self.max_ticks,
+        )
+        return controller.install().report
+
+
+@dataclasses.dataclass(frozen=True)
 class ShardReports:
     """Per-shard controller reports from a sharded feedback run."""
 
     shards: Tuple[ControllerReport, ...]
 
 
-ControlReport = Union[ControllerReport, SloReport, ShardReports]
+ControlReport = Union[ControllerReport, SloReport, ShardReports, ElasticReport]
 
 
 # -- the composed scenario -----------------------------------------------------
@@ -448,6 +595,8 @@ class ScenarioSpec:
     seed: int = DEFAULT_SEED
     #: Free-form label carried into artifacts (never hashed).
     tag: str = ""
+    #: Optional fault timeline (v2): hashed only when present.
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.workload, WorkloadRef):
@@ -460,6 +609,8 @@ class ScenarioSpec:
             raise ValueError(
                 f"measurement must be a MeasurementSpec, got {self.measurement!r}"
             )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise ValueError(f"faults must be a FaultSpec, got {self.faults!r}")
         if self.arrival is not None and self.arrival_rate is not None:
             raise ValueError(
                 "specify either an arrival spec or the legacy arrival_rate, not both"
@@ -489,6 +640,28 @@ class ScenarioSpec:
                     "PerClassSlo control needs HIGH-priority traffic "
                     "(high_priority_fraction > 0)"
                 )
+        if isinstance(self.control, ElasticMpl):
+            if not self.is_clustered:
+                raise ValueError(
+                    "ElasticMpl control needs a clustered topology "
+                    "(shards > 1 or replicas_per_shard > 0)"
+                )
+            if self.control.mpl < self.topology.shards:
+                raise ValueError(
+                    f"ElasticMpl mpl {self.control.mpl} cannot cover "
+                    f"{self.topology.shards} shards (need >= 1 each)"
+                )
+        if self.faults is not None:
+            if not self.is_clustered:
+                raise ValueError(
+                    "a fault timeline needs a clustered topology "
+                    "(shards > 1 or replicas_per_shard > 0)"
+                )
+            if self.faults.max_shard() >= self.topology.shards:
+                raise ValueError(
+                    f"fault event targets shard {self.faults.max_shard()} "
+                    f"but the topology has {self.topology.shards} shard(s)"
+                )
 
     # -- derived views -------------------------------------------------------
 
@@ -500,6 +673,11 @@ class ScenarioSpec:
         return self.arrival is not None and not isinstance(
             self.arrival, ClosedArrivals
         )
+
+    @property
+    def is_clustered(self) -> bool:
+        """Whether this scenario builds a router-fronted cluster."""
+        return self.topology.shards > 1 or self.topology.replicas_per_shard > 0
 
     # legacy-facing accessors (bench artifacts, grid assertions)
 
@@ -549,13 +727,16 @@ class ScenarioSpec:
             seed=self.seed,
             arrival=self.arrival,
         )
-        if self.topology.shards == 1:
+        if not self.is_clustered:
             return base
         return ClusterConfig.scale_out(
             base,
             self.topology.shards,
             routing=self.topology.routing,
             routing_weights=self.topology.routing_weights,
+            replicas_per_shard=self.topology.replicas_per_shard,
+            read_fanout=self.topology.read_fanout,
+            election_timeout_s=self.topology.election_timeout_s,
         )
 
     # -- fingerprinting ------------------------------------------------------
@@ -576,6 +757,10 @@ class ScenarioSpec:
             extra["control"] = canonical_jsonable(self.control)
         if self.measurement.metrics != ("standard",):
             extra["metrics"] = list(self.measurement.metrics)
+        if self.measurement.timeline_bucket_s != 1.0:
+            extra["timeline_bucket_s"] = self.measurement.timeline_bucket_s
+        if self.faults is not None:
+            extra["faults"] = canonical_jsonable(self.faults)
         return self.build_config().fingerprint(**extra)
 
     def component_fingerprints(self) -> Dict[str, str]:
@@ -586,6 +771,7 @@ class ScenarioSpec:
             "topology": component_fingerprint(self.topology),
             "control": component_fingerprint(self.control),
             "measurement": component_fingerprint(self.measurement),
+            "faults": component_fingerprint(self.faults),
         }
 
     # -- JSON round-trip -----------------------------------------------------
@@ -604,6 +790,7 @@ class ScenarioSpec:
             "arrival_rate": self.arrival_rate,
             "seed": self.seed,
             "tag": self.tag,
+            "faults": encode_fault_spec(self.faults),
         }
 
     @classmethod
@@ -636,10 +823,87 @@ class ScenarioSpec:
             )
         if "internal" in payload:
             data["internal"] = _decode_internal(payload["internal"])
+        if "faults" in payload:
+            data["faults"] = decode_fault_spec(payload["faults"])
         for name in ("policy", "high_priority_fraction", "arrival_rate", "seed", "tag"):
             if name in payload:
                 data[name] = payload[name]
         return cls(**data)
+
+    @classmethod
+    def validate(cls, payload: Any) -> "ScenarioSpec":
+        """Decode ``payload``, collecting *every* problem before raising.
+
+        :meth:`from_json_dict` is strict but fails on the first bad
+        key; this walks the whole payload, decoding each axis
+        independently, and raises one :class:`ScenarioValidationError`
+        carrying ``(json-pointer-path, message)`` pairs for all of
+        them.  Returns the decoded spec when the payload is clean.
+        """
+        if not isinstance(payload, dict):
+            raise ScenarioValidationError(
+                [("", f"scenario payload must be an object, got {payload!r}")]
+            )
+        errors: List[Tuple[str, str]] = []
+        known = {f.name for f in dataclasses.fields(cls)}
+        for key in sorted(set(payload) - known):
+            errors.append((f"/{key}", "unknown scenario field"))
+        data: Dict[str, Any] = {}
+        decoders = (
+            ("workload", lambda v: _decode_flat(v, WorkloadRef)),
+            ("arrival", _decode_arrival),
+            ("topology", lambda v: _decode_flat(
+                v, TopologySpec, tuples={"routing_weights"}
+            )),
+            ("control", _decode_control),
+            ("measurement", lambda v: _decode_flat(
+                v, MeasurementSpec, tuples={"metrics"}
+            )),
+            ("internal", _decode_internal),
+        )
+        for name, decode in decoders:
+            if name in payload:
+                try:
+                    data[name] = decode(payload[name])
+                except (ValueError, TypeError) as exc:
+                    errors.append((f"/{name}", str(exc)))
+        if payload.get("faults") is not None:
+            errors_before = len(errors)
+            faults_payload = payload["faults"]
+            if not isinstance(faults_payload, dict):
+                errors.append(
+                    ("/faults", f"must be an object, got {faults_payload!r}")
+                )
+            else:
+                for key in sorted(set(faults_payload) - {"events"}):
+                    errors.append((f"/faults/{key}", "unknown field"))
+                events = faults_payload.get("events")
+                if not isinstance(events, list):
+                    errors.append(
+                        ("/faults/events", f"must be a list, got {events!r}")
+                    )
+                else:
+                    decoded = []
+                    for index, event in enumerate(events):
+                        try:
+                            decoded.append(decode_fault_event(event))
+                        except (ValueError, TypeError) as exc:
+                            errors.append((f"/faults/events/{index}", str(exc)))
+                    if len(errors) == errors_before:
+                        try:
+                            data["faults"] = FaultSpec(events=tuple(decoded))
+                        except ValueError as exc:
+                            errors.append(("/faults", str(exc)))
+        for name in ("policy", "high_priority_fraction", "arrival_rate", "seed", "tag"):
+            if name in payload:
+                data[name] = payload[name]
+        if not errors:
+            try:
+                return cls(**data)
+            except (ValueError, TypeError) as exc:
+                # cross-field rules (axis combinations) surface at the root
+                errors.append(("", str(exc)))
+        raise ScenarioValidationError(errors)
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
@@ -668,6 +932,7 @@ _CONTROL_TYPES: Dict[str, type] = {
     "static": StaticMpl,
     "feedback": FeedbackMpl,
     "per_class_slo": PerClassSlo,
+    "elastic": ElasticMpl,
 }
 
 
@@ -813,6 +1078,14 @@ def _report_jsonable(report: Optional[ControlReport]) -> Optional[Dict[str, Any]
             "shards": [dataclasses.asdict(r) for r in report.shards],
         }
     payload = dataclasses.asdict(report)
+    if isinstance(report, ElasticReport):
+        payload["type"] = "elastic"
+        payload["final_mpls"] = list(report.final_mpls)
+        payload["actions"] = [
+            {**action, "mpls": list(action["mpls"])}
+            for action in payload["actions"]
+        ]
+        return payload
     payload["type"] = (
         "per_class_slo" if isinstance(report, SloReport) else "feedback"
     )
@@ -831,6 +1104,10 @@ class ScenarioOutcome:
     result: RunResult
     control: Optional[ControlReport] = None
     percentiles: Optional[Dict[str, Dict[str, float]]] = None
+    #: Per-bucket dynamics (the ``timeline`` metric set).
+    timeline: Optional[List[Dict[str, float]]] = None
+    #: The fault events as they actually fired (faulted runs only).
+    faults: Optional[List[Dict[str, Any]]] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
         return {
@@ -840,6 +1117,8 @@ class ScenarioOutcome:
             "result": self.result.to_json_dict(),
             "control": _report_jsonable(self.control),
             "percentiles": self.percentiles,
+            "timeline": self.timeline,
+            "faults": self.faults,
         }
 
 
@@ -860,16 +1139,50 @@ def _percentile_snapshot(records) -> Dict[str, Dict[str, float]]:
     }
 
 
+def _timeline_snapshot(
+    records, bucket_s: float
+) -> List[Dict[str, float]]:
+    """Per-bucket completion dynamics over a record window.
+
+    Buckets are anchored at absolute simulated time zero
+    (``floor(completion_time / bucket_s)``), so timelines from runs
+    sharing one fault schedule line up bucket-for-bucket.
+    """
+    buckets: Dict[int, List[float]] = {}
+    for record in records:
+        buckets.setdefault(
+            int(record.completion_time // bucket_s), []
+        ).append(record.response_time)
+    rows: List[Dict[str, float]] = []
+    for index in sorted(buckets):
+        times = buckets[index]
+        rows.append({
+            "t": index * bucket_s,
+            "completions": float(len(times)),
+            "throughput": len(times) / bucket_s,
+            "mean_response_time": sum(times) / len(times),
+            "p95_response_time": stats.percentile(times, 95.0),
+        })
+    return rows
+
+
 def execute_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
-    """Run one scenario end to end: build, control, measure.
+    """Run one scenario end to end: build, inject, control, measure.
 
     With static control this is byte-for-byte the legacy execution
     path (build the system, run the measurement window); with feedback
     or SLO control the system first runs the spec-described controller,
-    then measures a fresh post-control window.
+    then measures a fresh post-control window.  A fault timeline is
+    armed on the simulator clock before anything runs, so its events
+    fire at their absolute simulated times.
     """
     measurement = spec.measurement
     system = build_system(spec.build_config())
+    injector = None
+    if spec.faults is not None:
+        # validation guarantees a clustered topology here
+        injector = FaultInjector(system, spec.faults)
+        injector.arm()
     report = spec.control.apply(system, spec)
     # the control phase's completions precede the measurement window;
     # both run paths land the window at exactly `transactions` records
@@ -889,12 +1202,19 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     percentiles = None
     if "percentiles" in measurement.metrics:
         percentiles = _percentile_snapshot(system.collector.completed(warmup))
+    timeline = None
+    if "timeline" in measurement.metrics:
+        timeline = _timeline_snapshot(
+            system.collector.records[start:], measurement.timeline_bucket_s
+        )
     return ScenarioOutcome(
         spec=spec,
         fingerprint=spec.fingerprint(),
         result=result,
         control=report,
         percentiles=percentiles,
+        timeline=timeline,
+        faults=injector.applied_jsonable() if injector is not None else None,
     )
 
 
@@ -907,7 +1227,10 @@ def demo_scenarios() -> Dict[str, ScenarioSpec]:
     ``trace-retailer`` / ``trace-auction`` replay the synthetic §3.2
     production traces through the trace arrival seam on their own
     resampled workloads; ``slo-tv`` drives the per-class SLO
-    controller under the time-varying (sinusoidal) regime.
+    controller under the time-varying (sinusoidal) regime;
+    ``failover`` kills a replicated shard's primary mid-run, lets the
+    group elect, restores it, and plots the throughput/p95 timeline
+    under elastic capacity control.
     """
     trace_demos = {
         f"trace-{short}": ScenarioSpec(
@@ -943,5 +1266,25 @@ def demo_scenarios() -> Dict[str, ScenarioSpec]:
                 transactions=600, metrics=("standard", "percentiles")
             ),
             tag="demo-slo-tv",
+        ),
+        "failover": ScenarioSpec(
+            workload=WorkloadRef(setup_id=1),
+            arrival=OpenArrivals(rate=90.0),
+            topology=TopologySpec(
+                shards=2,
+                routing="least_in_flight",
+                replicas_per_shard=1,
+                read_fanout="round_robin",
+            ),
+            control=ElasticMpl(mpl=16, interval_s=1.0),
+            faults=FaultSpec(events=(
+                KillShard(at=3.0, shard=0),
+                RestoreShard(at=8.0, shard=0),
+            )),
+            measurement=MeasurementSpec(
+                transactions=1200,
+                metrics=("standard", "percentiles", "timeline"),
+            ),
+            tag="demo-failover",
         ),
     }

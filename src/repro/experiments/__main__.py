@@ -59,6 +59,7 @@ _FIGURES: Dict[str, Callable] = {
     "po": figures.partly_open,
     "tv": figures.time_varying_controller,
     "sh": figures.sharded_cluster,
+    "ft": figures.fault_tolerance,
 }
 
 _TABLES: Dict[str, Callable[[], str]] = {
@@ -302,9 +303,11 @@ def _load_scenarios(args: argparse.Namespace) -> "tuple[List[ScenarioSpec], bool
     else:
         with open(args.file, encoding="utf-8") as handle:
             payload = json.load(handle)
+    # file payloads are untrusted: validate() collects *every* problem
+    # (with JSON-pointer paths) instead of failing on the first bad key
     if isinstance(payload, list):
-        return [ScenarioSpec.from_json_dict(entry) for entry in payload], False
-    return [ScenarioSpec.from_json_dict(payload)], True
+        return [ScenarioSpec.validate(entry) for entry in payload], False
+    return [ScenarioSpec.validate(payload)], True
 
 
 def scenario_main(argv: List[str]) -> int:

@@ -12,11 +12,19 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.arrivals import ModulatedArrivals, PartlyOpenArrivals, SinusoidRate
+from repro.core.arrivals import (
+    ModulatedArrivals,
+    OpenArrivals,
+    PartlyOpenArrivals,
+    SinusoidRate,
+)
+from repro.core.faults import FaultSpec, KillShard, RestoreShard
 from repro.core.scenario import (
+    ElasticMpl,
     FeedbackMpl,
     MeasurementSpec,
     ScenarioSpec,
+    TopologySpec,
     WorkloadRef,
     execute_scenario,
 )
@@ -906,6 +914,140 @@ def sharded_cluster(
     ]
 
 
+# -- fault-tolerance figure: kill -> elect -> restore timeline ----------------
+
+#: Shard counts swept by the fault-tolerance figure.
+FT_SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Offered load per shard, tx/s (same weak-scaling rate as the cluster
+#: figure, so the two sweeps are comparable).
+FT_RATE_PER_SHARD = 45.0
+
+#: Per-shard MPL budget handed to the elastic controller.
+FT_MPL_PER_SHARD = 8
+
+#: The fault schedule: shard 0's primary dies, the replica group
+#: elects, and the dead member is revived five seconds later.
+FT_KILL_AT = 3.0
+FT_RESTORE_AT = 8.0
+
+#: Timeline resolution; bucket boundaries are anchored at simulated
+#: time zero, so every shard count's timeline aligns bucket-for-bucket.
+FT_BUCKET_S = 1.0
+
+
+def _ft_spec(shards: int, duration_s: float, seed: int = DEFAULT_SEED) -> ScenarioSpec:
+    """One fault-tolerance cell: replicated cluster + kill/restore."""
+    rate = FT_RATE_PER_SHARD * shards
+    return ScenarioSpec(
+        workload=WorkloadRef(setup_id=1),
+        arrival=OpenArrivals(rate=rate),
+        topology=TopologySpec(
+            shards=shards,
+            routing="least_in_flight",
+            replicas_per_shard=1,
+            read_fanout="round_robin",
+        ),
+        control=ElasticMpl(mpl=FT_MPL_PER_SHARD * shards, interval_s=1.0),
+        faults=FaultSpec(events=(
+            KillShard(at=FT_KILL_AT, shard=0),
+            RestoreShard(at=FT_RESTORE_AT, shard=0),
+        )),
+        measurement=MeasurementSpec(
+            # transactions scale with the offered rate so every shard
+            # count's run covers the whole kill -> elect -> restore arc
+            transactions=int(rate * duration_s),
+            metrics=("standard", "percentiles", "timeline"),
+            timeline_bucket_s=FT_BUCKET_S,
+        ),
+        seed=seed,
+        tag=f"ft-{shards}x",
+    )
+
+
+def fault_tolerance_grid(
+    fast: bool = True,
+    mpls: Optional[Sequence[int]] = None,
+    shard_counts: Sequence[int] = FT_SHARD_COUNTS,
+) -> List[ScenarioSpec]:
+    """The scenario grid behind the fault-tolerance figure, as data.
+
+    One cell per shard count; the ``mpls`` argument is accepted for
+    grid-builder signature compatibility and ignored (the elastic
+    controller owns the MPL axis here).
+    """
+    duration = 12.0 if fast else 20.0
+    return [_ft_spec(shards, duration) for shards in shard_counts]
+
+
+def fault_tolerance(
+    fast: bool = True, shard_counts: Sequence[int] = FT_SHARD_COUNTS
+) -> List[FigureResult]:
+    """Failover timeline: throughput and p95 through kill -> restore.
+
+    Every cluster runs replicated (1 replica per shard) under elastic
+    capacity control at :data:`FT_RATE_PER_SHARD` tx/s per shard.  At
+    t=3s shard 0's primary fail-stops — its replica group buffers
+    queued work, elects the replica, and drains the backlog; at t=8s
+    the dead member is revived.  The per-second timeline shows the
+    kill-bucket throughput dip and p95 spike, the post-election
+    recovery, and (via the elastic controller) the MPL re-split toward
+    the surviving capacity.
+    """
+    specs = fault_tolerance_grid(fast, shard_counts=shard_counts)
+    runs = [execute_scenario(spec) for spec in specs]
+    # one aligned x-axis: the union of every run's bucket times
+    xs = tuple(sorted({row["t"] for run in runs for row in run.timeline}))
+    throughput_series: List[Series] = []
+    p95_series: List[Series] = []
+    notes: List[str] = []
+    for shards, run in zip(shard_counts, runs):
+        by_t = {row["t"]: row for row in run.timeline}
+        label = f"{shards} shard{'s' if shards > 1 else ''}"
+        throughput_series.append(Series(
+            label=label,
+            ys=tuple(by_t[t]["throughput"] if t in by_t else _NAN for t in xs),
+        ))
+        p95_series.append(Series(
+            label=label,
+            ys=tuple(
+                by_t[t]["p95_response_time"] if t in by_t else _NAN for t in xs
+            ),
+        ))
+        elastic = run.control
+        fired = "; ".join(
+            f"t={fault['at']:g}s {fault['kind']} shard {fault['shard']}"
+            for fault in (run.faults or ())
+        )
+        notes.append(
+            f"{label}: faults [{fired}], elastic re-splits "
+            f"{elastic.resplits}, final MPL split {elastic.final_mpls}"
+        )
+    scale_note = (
+        f"replicated (1 replica/shard), {FT_RATE_PER_SHARD:g} tx/s per "
+        f"shard, elastic global MPL = {FT_MPL_PER_SHARD} x shards; kill "
+        f"t={FT_KILL_AT:g}s, restore t={FT_RESTORE_AT:g}s"
+    )
+    return [
+        FigureResult(
+            figure="FT-a",
+            title="Failover timeline: throughput per second by shard count",
+            xlabel="time (s)",
+            xs=xs,
+            series=tuple(throughput_series),
+            notes=(scale_note, *notes),
+        ),
+        FigureResult(
+            figure="FT-b",
+            title="Failover timeline: p95 response time per second by shard count",
+            xlabel="time (s)",
+            xs=xs,
+            series=tuple(p95_series),
+            notes=(scale_note,),
+        ),
+    ]
+
+
 # -- declarative grids (for `repro.experiments bench` and CI) ----------------
 
 
@@ -980,6 +1122,11 @@ GRID_DEFS: Dict[str, GridDef] = {
         panels=(),
         fast_mpls=SHARD_MPLS_FAST,
         builder=sharded_grid,
+    ),
+    "ft": GridDef(
+        mpls=(),
+        panels=(),
+        builder=fault_tolerance_grid,
     ),
 }
 

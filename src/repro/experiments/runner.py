@@ -69,7 +69,22 @@ def spec_for(
     routing_weights: Optional[Tuple[float, ...]] = None,
     tag: str = "",
 ) -> RunSpec:
-    """The :class:`RunSpec` equivalent of a :func:`run_setup` call."""
+    """The :class:`RunSpec` equivalent of a :func:`run_setup` call.
+
+    Topology knobs land in a :class:`TopologySpec` (the ``shards`` /
+    ``routing`` / ``routing_weights`` fields on :class:`RunSpec` are
+    deprecated); single-shard defaults stay implicit so legacy
+    fingerprints are untouched.
+    """
+    clustered = (
+        shards != 1 or routing != "round_robin" or routing_weights is not None
+    )
+    topology = (
+        TopologySpec(shards=shards, routing=routing,
+                     routing_weights=routing_weights)
+        if clustered
+        else None
+    )
     return RunSpec(
         setup_id=setup.setup_id,
         mpl=mpl,
@@ -80,9 +95,7 @@ def spec_for(
         high_priority_fraction=high_priority_fraction,
         arrival_rate=arrival_rate,
         arrival=arrival,
-        shards=shards,
-        routing=routing,
-        routing_weights=routing_weights,
+        topology=topology,
         tag=tag,
     )
 

@@ -30,7 +30,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from repro.sim.distributions import BlockSampler, Distribution
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, SimulationError, Simulator
 
 
 class ClassStats:
@@ -316,6 +316,16 @@ class RouterStation(Station):
     id is accepted at most once) and accumulates per-shard dispatch
     counts plus per-priority-class :class:`ClassStats`, which the
     invariant test-suite checks against the shard-side counters.
+
+    Liveness: each target carries two flags — ``alive`` (fault state,
+    flipped by kill/restore events) and ``in_rotation`` (administrative
+    state, flipped by elastic capacity control).  A shard is routable
+    only when both hold.  When the policy picks an unroutable shard the
+    router deterministically falls over to the next routable index
+    (cyclic scan), so faulted runs stay bit-identical for any
+    ``--jobs N``.  When every target is unroutable, ``submit`` raises
+    :class:`~repro.sim.engine.SimulationError` rather than queueing
+    blindly.
     """
 
     is_server = False
@@ -329,6 +339,48 @@ class RouterStation(Station):
         self.policy = policy
         self.routed_by_shard: List[int] = [0] * len(self.targets)
         self._routed_tids: set = set()
+        self.alive: List[bool] = [True] * len(self.targets)
+        self.in_rotation: List[bool] = [True] * len(self.targets)
+        self.rerouted = 0
+        self.rerouted_from: List[int] = [0] * len(self.targets)
+        self.rerouted_to: List[int] = [0] * len(self.targets)
+
+    # -- liveness ----------------------------------------------------------
+
+    def set_alive(self, index: int, alive: bool) -> None:
+        """Flip a target's fault-liveness flag (kill/restore)."""
+        self._check_index(index)
+        self.alive[index] = bool(alive)
+
+    def set_rotation(self, index: int, in_rotation: bool) -> None:
+        """Flip a target's administrative in-rotation flag (elastic)."""
+        self._check_index(index)
+        self.in_rotation[index] = bool(in_rotation)
+
+    def routable(self, index: int) -> bool:
+        """Whether a target currently accepts new work."""
+        return self.alive[index] and self.in_rotation[index]
+
+    def live_targets(self) -> List[int]:
+        """Indices of targets currently accepting new work."""
+        return [i for i in range(len(self.targets)) if self.routable(i)]
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self.targets):
+            raise ValueError(
+                f"shard index {index} out of range for {len(self.targets)} targets"
+            )
+
+    def _fallback(self, index: int) -> int:
+        """Next routable index after ``index``, scanning cyclically."""
+        n = len(self.targets)
+        for step in range(1, n):
+            candidate = (index + step) % n
+            if self.routable(candidate):
+                return candidate
+        raise SimulationError(
+            f"router {self.name!r} has no live targets to route to"
+        )
 
     def submit(self, tx) -> Event:
         """Route ``tx`` to a shard; returns the shard's completion event."""
@@ -340,10 +392,35 @@ class RouterStation(Station):
                 f"routing policy {self.policy.name!r} chose shard {index} "
                 f"of {len(self.targets)}"
             )
+        if not self.routable(index):
+            index = self._fallback(index)
         self._routed_tids.add(tx.tid)
         self.routed_by_shard[index] += 1
         self._record(tx.priority)
         return self.targets[index].submit(tx)
+
+    def reroute(self, tx, source: int) -> None:
+        """Re-home an admitted transaction drained from a dead shard.
+
+        The transaction keeps its arrival time and completion event;
+        the receiving shard takes it via ``adopt``.  Per-shard transfer
+        counters keep the conservation law checkable:
+        ``routed_to[i] + rerouted_to[i] - rerouted_from[i]`` equals the
+        work shard ``i`` currently holds or has completed.
+        """
+        self._check_index(source)
+        index = self.policy.choose(tx, self.targets)
+        if not 0 <= index < len(self.targets):
+            raise ValueError(
+                f"routing policy {self.policy.name!r} chose shard {index} "
+                f"of {len(self.targets)}"
+            )
+        if not self.routable(index):
+            index = self._fallback(index)
+        self.rerouted += 1
+        self.rerouted_from[source] += 1
+        self.rerouted_to[index] += 1
+        self.targets[index].adopt(tx)
 
     @property
     def routed(self) -> int:

@@ -29,14 +29,23 @@ from repro.core.arrivals import (
 from repro.core.cluster import ClusterConfig, build_system
 from repro.core.controller import (
     ControllerReport,
+    ElasticReport,
     PerClassSloController,
     SloReport,
 )
+from repro.core.faults import (
+    DegradeShard,
+    FaultSpec,
+    KillShard,
+    RestoreShard,
+)
 from repro.core.scenario import (
+    ElasticMpl,
     FeedbackMpl,
     MeasurementSpec,
     PerClassSlo,
     ScenarioSpec,
+    ScenarioValidationError,
     StaticMpl,
     TopologySpec,
     WorkloadRef,
@@ -789,9 +798,268 @@ class TestScenarioCli:
 class TestDemos:
     def test_every_demo_builds_and_fingerprints(self):
         demos = demo_scenarios()
-        assert set(demos) == {"trace-retailer", "trace-auction", "slo-tv"}
+        assert set(demos) == {
+            "trace-retailer", "trace-auction", "slo-tv", "failover",
+        }
         digests = {name: spec.fingerprint() for name, spec in demos.items()}
         assert len(set(digests.values())) == len(digests)
         for spec in demos.values():
             clone = ScenarioSpec.from_json(spec.to_json())
             assert clone.fingerprint() == spec.fingerprint()
+
+
+class TestScenarioV2:
+    """Replica groups, faults, elasticity, timelines — the v2 axes."""
+
+    FAULTED = dict(
+        topology=TopologySpec(shards=2, replicas_per_shard=1),
+        faults=FaultSpec(events=(
+            KillShard(at=0.5, shard=0),
+            RestoreShard(at=1.5, shard=0),
+        )),
+    )
+
+    def test_topology_v2_validation(self):
+        with pytest.raises(ValueError):
+            TopologySpec(replicas_per_shard=-1)
+        with pytest.raises(ValueError):
+            TopologySpec(read_fanout="nope")
+        with pytest.raises(ValueError):
+            TopologySpec(election_timeout_s=-0.1)
+        with pytest.raises(ValueError):
+            MeasurementSpec(timeline_bucket_s=0.0)
+
+    def test_faults_need_a_clustered_topology(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(faults=FaultSpec(events=(KillShard(at=1.0, shard=0),)))
+        with pytest.raises(ValueError):
+            # event shard out of range for the topology
+            ScenarioSpec(
+                topology=TopologySpec(shards=2),
+                faults=FaultSpec(events=(KillShard(at=1.0, shard=2),)),
+            )
+        with pytest.raises(ValueError):
+            ScenarioSpec(faults="kill")
+        # a replicated single shard IS clustered: faults are fine
+        ScenarioSpec(
+            topology=TopologySpec(shards=1, replicas_per_shard=1),
+            faults=FaultSpec(events=(KillShard(at=1.0, shard=0),)),
+        )
+
+    def test_elastic_needs_a_cluster_and_enough_mpl(self):
+        with pytest.raises(ValueError):
+            ElasticMpl(mpl=0)
+        with pytest.raises(ValueError):
+            ElasticMpl(interval_s=0.0)
+        with pytest.raises(ValueError):
+            ElasticMpl(low_watermark=0.9, high_watermark=0.5)
+        with pytest.raises(ValueError):
+            ElasticMpl(min_shards=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(control=ElasticMpl(mpl=8))  # single engine
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                topology=TopologySpec(shards=4),
+                control=ElasticMpl(mpl=2),  # cannot cover 4 shards
+            )
+        with pytest.raises(ValueError):
+            ElasticMpl(mpl=8).apply(
+                SimulatedSystem(ScenarioSpec().build_config()), ScenarioSpec()
+            )
+
+    def test_v2_axes_round_trip_with_stable_fingerprints(self):
+        spec = ScenarioSpec(
+            arrival=OpenArrivals(rate=90.0),
+            topology=TopologySpec(
+                shards=2, routing="least_in_flight",
+                replicas_per_shard=1, read_fanout="least_in_flight",
+                election_timeout_s=0.25,
+            ),
+            control=ElasticMpl(
+                mpl=12, interval_s=0.5, high_watermark=0.8,
+                low_watermark=0.2, min_shards=1,
+            ),
+            faults=FaultSpec(events=(
+                KillShard(at=0.5, shard=0),
+                DegradeShard(at=1.0, shard=1, factor=0.5),
+                RestoreShard(at=1.5, shard=0),
+            )),
+            measurement=MeasurementSpec(
+                transactions=200,
+                metrics=("standard", "percentiles", "timeline"),
+                timeline_bucket_s=0.5,
+            ),
+        )
+        clone = ScenarioSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+        payload = spec.to_json_dict()
+        assert payload["control"]["type"] == "elastic"
+        assert payload["faults"]["events"][0]["type"] == "kill"
+        # the fault axis is individually fingerprinted
+        assert "faults" in spec.component_fingerprints()
+
+    def test_default_v2_fields_do_not_change_legacy_digests(self):
+        """Explicitly-default v2 knobs hash like they don't exist."""
+        legacy = ScenarioSpec(topology=TopologySpec(shards=2))
+        explicit = ScenarioSpec(topology=TopologySpec(
+            shards=2, replicas_per_shard=0, read_fanout="round_robin",
+            election_timeout_s=0.5,
+        ))
+        assert explicit.fingerprint() == legacy.fingerprint()
+        assert (
+            ScenarioSpec(measurement=MeasurementSpec(timeline_bucket_s=1.0))
+            .fingerprint() == ScenarioSpec().fingerprint()
+        )
+
+    def test_validate_collects_every_problem_with_paths(self):
+        payload = {
+            "nope": 1,
+            "topology": {"shards": 0},
+            "control": {"type": "wat"},
+            "faults": {"events": [{"type": "zap"}], "oops": 2},
+            "measurement": {"transactions": -5},
+        }
+        with pytest.raises(ScenarioValidationError) as excinfo:
+            ScenarioSpec.validate(payload)
+        paths = [path for path, _message in excinfo.value.errors]
+        assert "/nope" in paths
+        assert "/topology" in paths
+        assert "/control" in paths
+        assert "/faults/oops" in paths
+        assert "/faults/events/0" in paths
+        assert "/measurement" in paths
+        assert len(paths) >= 6
+        # the message is one line per problem
+        assert str(excinfo.value).count("\n") >= len(paths)
+
+    def test_validate_reports_cross_field_problems_at_the_root(self):
+        with pytest.raises(ScenarioValidationError) as excinfo:
+            ScenarioSpec.validate({
+                "faults": {"events": [
+                    {"type": "kill", "at": 1.0, "shard": 0}
+                ]},
+            })
+        assert any(path == "" for path, _message in excinfo.value.errors)
+        with pytest.raises(ScenarioValidationError):
+            ScenarioSpec.validate([1, 2])
+
+    def test_validate_accepts_what_from_json_dict_accepts(self):
+        for spec in (ScenarioSpec(), demo_scenarios()["failover"]):
+            payload = spec.to_json_dict()
+            assert ScenarioSpec.validate(payload) == spec
+
+    def test_failover_demo_executes_with_timeline_and_fault_log(self):
+        # the demo is sized so the restore (t=8s) fires mid-run
+        demo = demo_scenarios()["failover"]
+        outcome = execute_scenario(demo)
+        assert outcome.result.completed >= 900  # 1200 minus warmup
+        kinds = [fault["kind"] for fault in outcome.faults]
+        assert kinds == ["kill", "restore"]
+        assert outcome.faults[0]["at"] == pytest.approx(3.0)
+        assert outcome.timeline
+        assert {"t", "completions", "throughput", "mean_response_time",
+                "p95_response_time"} <= set(outcome.timeline[0])
+        payload = outcome.to_json_dict()
+        assert payload["control"]["type"] == "elastic"
+        assert payload["faults"] == outcome.faults
+        assert payload["timeline"] == outcome.timeline
+        report = outcome.control
+        assert isinstance(report, ElasticReport)
+        assert sum(report.final_mpls) == demo.control.mpl
+
+    def test_timeline_works_on_a_single_engine(self):
+        outcome = execute_scenario(ScenarioSpec(
+            arrival_rate=50.0,
+            control=StaticMpl(8),
+            measurement=MeasurementSpec(
+                transactions=150, metrics=("standard", "timeline"),
+                timeline_bucket_s=0.5,
+            ),
+        ))
+        assert outcome.timeline
+        assert sum(row["completions"] for row in outcome.timeline) == 150
+        # buckets are anchored at absolute t=0 and strictly increasing
+        ts = [row["t"] for row in outcome.timeline]
+        assert ts == sorted(ts)
+        assert all(t == pytest.approx(round(t / 0.5) * 0.5) for t in ts)
+
+    def test_run_failover_demo_via_cli(self, tmp_path, capsys):
+        path = tmp_path / "failover.json"
+        path.write_text(demo_scenarios()["failover"].to_json())
+        out_path = tmp_path / "outcome.json"
+        assert cli_main(
+            ["scenario", "run", str(path), "--output", str(out_path)]
+        ) == 0
+        outcome = json.loads(out_path.read_text())
+        assert outcome["control"]["type"] == "elastic"
+        assert [f["kind"] for f in outcome["faults"]] == ["kill", "restore"]
+        assert outcome["timeline"]
+
+    def test_cli_reports_every_validation_problem(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "nope": 1,
+            "topology": {"shards": 0},
+            "faults": {"events": [{"type": "zap"}]},
+        }))
+        assert cli_main(["scenario", "show", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "/nope" in err
+        assert "/topology" in err
+        assert "/faults/events/0" in err
+
+
+class TestRunSpecDeprecation:
+    """The loose shards/routing/routing_weights fields are deprecated."""
+
+    def test_loose_topology_fields_warn(self):
+        with pytest.warns(DeprecationWarning, match="topology"):
+            RunSpec(setup_id=1, shards=2)
+        with pytest.warns(DeprecationWarning, match="topology"):
+            RunSpec(setup_id=1, routing="hash")
+        with pytest.warns(DeprecationWarning, match="topology"):
+            RunSpec(setup_id=1, shards=2, routing="weighted",
+                    routing_weights=(1.0, 2.0))
+
+    def test_defaults_and_topology_spelling_do_not_warn(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            RunSpec(setup_id=1)
+            RunSpec(setup_id=1, topology=TopologySpec(shards=2))
+
+    def test_both_spellings_rejected_together(self):
+        with pytest.raises(ValueError, match="not both"):
+            RunSpec(setup_id=1, shards=2, topology=TopologySpec(shards=2))
+
+    def test_loose_and_topology_spellings_fingerprint_identically(self):
+        with pytest.warns(DeprecationWarning):
+            loose = RunSpec(
+                setup_id=1, mpl=8, shards=2, routing="least_in_flight"
+            )
+        explicit = RunSpec(
+            setup_id=1, mpl=8,
+            topology=TopologySpec(shards=2, routing="least_in_flight"),
+        )
+        assert loose.fingerprint() == explicit.fingerprint()
+        assert (loose.to_scenario().fingerprint()
+                == explicit.to_scenario().fingerprint())
+        assert loose.resolved_topology() == explicit.resolved_topology()
+
+    def test_spec_for_uses_the_topology_spelling(self):
+        import warnings as warnings_module
+
+        from repro.experiments.runner import spec_for
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            plain = spec_for(get_setup(1), mpl=4)
+            sharded = spec_for(
+                get_setup(1), mpl=4, shards=2, routing="least_in_flight"
+            )
+        assert plain.topology is None
+        assert sharded.topology == TopologySpec(
+            shards=2, routing="least_in_flight"
+        )
