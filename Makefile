@@ -20,10 +20,10 @@ BENCH_CACHE ?= .repro-bench-cache
 COV_MIN     ?= 90
 COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station --cov=repro.core.scenario --cov=repro.core.faults
 # figure grids the scenario round-trip check walks
-SCENARIO_GRIDS ?= 2 3 4 5 smoke sh po ft
+SCENARIO_GRIDS ?= 2 3 4 5 smoke sh po ft rf
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench cluster-bench kernel-bench profile reproduce smoke scenarios clean
+.PHONY: test test-c lint bench bench-c cluster-bench kernel-bench kernel-bench-c ckernel profile reproduce smoke scenarios clean
 
 test:
 	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
@@ -33,6 +33,16 @@ test:
 		echo "pytest-cov not installed; running without the coverage gate"; \
 		$(PYTHON) -m pytest -x -q; \
 	fi
+
+# Build the optional compiled kernel lane in place (requires cffi + a
+# C compiler; everything works without it on the pure-Python lane).
+ckernel:
+	$(PYTHON) -m repro.sim._ckernel.builder
+
+# The whole tier-1 suite on the compiled lane (builds it first).  Both
+# lanes are bit-identical, so the same digest pins must pass.
+test-c: ckernel
+	REPRO_KERNEL=c $(PYTHON) -m pytest -x -q
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -47,6 +57,12 @@ bench:
 	$(PYTHON) -m repro.experiments bench --figure smoke --jobs $(JOBS) \
 		--cache-dir $(BENCH_CACHE) --output BENCH_smoke.json
 
+# The smoke benchmark on the compiled lane (builds it first).
+bench-c: ckernel
+	rm -rf $(BENCH_CACHE)
+	$(PYTHON) -m repro.experiments bench --figure smoke --jobs $(JOBS) \
+		--kernel-lane c --cache-dir $(BENCH_CACHE) --output BENCH_smoke_c.json
+
 # Sharded-cluster grid (1-8 shards, all four routing policies) through
 # the runner; CI uploads the artifact next to the smoke benchmark.
 cluster-bench:
@@ -56,13 +72,23 @@ cluster-bench:
 
 # Serial figure-2 cold pass against the checked-in kernel-v2 baseline
 # BENCH_pr4.json (1.48x faster than the seed-era baseline, so the
-# same 2x ratio is a much tighter absolute budget; what CI runs).
-# BENCH_seed.json remains checked in as the start of the trajectory.
+# same 2x ratio is a much tighter absolute budget; what CI runs on
+# the pure-Python lane).  BENCH_seed.json remains checked in as the
+# start of the trajectory.
 kernel-bench:
 	rm -rf .kernel-bench-cache
 	$(PYTHON) -m repro.experiments bench --figure 2 --jobs 1 \
 		--cache-dir .kernel-bench-cache --output BENCH_figure2.json \
 		--baseline BENCH_pr4.json --max-regression 2
+
+# The same cold pass on the compiled lane against its own checked-in
+# baseline BENCH_pr7.json (what CI's compiled-lane job runs).
+kernel-bench-c: ckernel
+	rm -rf .kernel-bench-cache
+	$(PYTHON) -m repro.experiments bench --figure 2 --jobs 1 \
+		--kernel-lane c --cache-dir .kernel-bench-cache \
+		--output BENCH_figure2_c.json \
+		--baseline BENCH_pr7.json --max-regression 2
 
 # cProfile the kernel on the figure-2 fast grid (serial, cold cache)
 # and print the top 25 functions by self time.
@@ -100,6 +126,6 @@ reproduce:
 clean:
 	rm -rf $(CACHE_DIR) $(BENCH_CACHE) .kernel-bench-cache .cluster-bench-cache .profile-cache src/*.egg-info
 	rm -f .scenario-rt-a.json .scenario-rt-b.json
-	rm -f BENCH_smoke.json BENCH_figure2.json BENCH_sh.json BENCH_profile.json profile.out
-	# BENCH_seed.json / BENCH_pr4*.json are checked in (perf trajectory)
+	rm -f BENCH_smoke.json BENCH_smoke_c.json BENCH_figure2.json BENCH_figure2_c.json BENCH_sh.json BENCH_profile.json profile.out
+	# BENCH_seed.json / BENCH_pr4*.json / BENCH_pr7*.json are checked in (perf trajectory)
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -32,16 +32,18 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import platform
 import shutil
 import sys
 import tempfile
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.core import scenario as scenario_module
 from repro.core.scenario import ScenarioSpec
 from repro.experiments import figures, parallel, tables
+from repro.sim.engine import SimulationError, resolve_kernel_lane
 from repro.sim.random import replicate_seeds
 
 _FIGURES: Dict[str, Callable] = {
@@ -60,6 +62,7 @@ _FIGURES: Dict[str, Callable] = {
     "tv": figures.time_varying_controller,
     "sh": figures.sharded_cluster,
     "ft": figures.fault_tolerance,
+    "rf": figures.replica_fanout,
 }
 
 _TABLES: Dict[str, Callable[[], str]] = {
@@ -121,6 +124,32 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="content-addressed result cache; re-runs of unchanged "
         "figures become near-instant",
     )
+    parser.add_argument(
+        "--kernel-lane",
+        default=None,
+        choices=("py", "c", "auto"),
+        help="simulation kernel lane (default: the REPRO_KERNEL "
+        "environment variable, else 'py'); both lanes produce "
+        "bit-identical results",
+    )
+
+
+def _apply_kernel_lane(lane: Optional[str]) -> Optional[int]:
+    """Validate + export a ``--kernel-lane`` choice; non-None = exit code.
+
+    The lane is exported through ``REPRO_KERNEL`` rather than threaded
+    through call signatures so that parallel-runner *worker processes*
+    (which rebuild their own simulators) inherit it too.
+    """
+    if lane is None:
+        return None
+    try:
+        resolve_kernel_lane(lane)
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    os.environ["REPRO_KERNEL"] = lane
+    return None
 
 
 def bench_main(argv: List[str]) -> int:
@@ -175,6 +204,9 @@ def bench_main(argv: List[str]) -> int:
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    exit_code = _apply_kernel_lane(args.kernel_lane)
+    if exit_code is not None:
+        return exit_code
     if args.repeats < 1:
         print(f"error: --repeats must be >= 1, got {args.repeats}", file=sys.stderr)
         return 2
@@ -213,6 +245,7 @@ def bench_main(argv: List[str]) -> int:
         "benchmark": "parallel-runner",
         "figure": key,
         "grid_size": len(grid),
+        "kernel_lane": resolve_kernel_lane(),
         "jobs": args.jobs,
         "repeats": args.repeats,
         "cache_dir": args.cache_dir,
@@ -360,8 +393,18 @@ def scenario_main(argv: List[str]) -> int:
         metavar="PATH",
         help="write the JSON here instead of stdout",
     )
+    parser.add_argument(
+        "--kernel-lane",
+        default=None,
+        choices=("py", "c", "auto"),
+        help="with run: simulation kernel lane (results are "
+        "bit-identical across lanes)",
+    )
     args = parser.parse_args(argv)
 
+    exit_code = _apply_kernel_lane(args.kernel_lane)
+    if exit_code is not None:
+        return exit_code
     if args.list_demos:
         for name in sorted(scenario_module.demo_scenarios()):
             print(name)
@@ -459,6 +502,9 @@ def main(argv: List[str] | None = None) -> int:
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    exit_code = _apply_kernel_lane(args.kernel_lane)
+    if exit_code is not None:
+        return exit_code
 
     figure_ids = list(args.figure)
     table_ids = list(args.table)

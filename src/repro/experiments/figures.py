@@ -19,11 +19,13 @@ from repro.core.arrivals import (
     SinusoidRate,
 )
 from repro.core.faults import FaultSpec, KillShard, RestoreShard
+from repro.core.cluster import READ_FANOUT_POLICIES
 from repro.core.scenario import (
     ElasticMpl,
     FeedbackMpl,
     MeasurementSpec,
     ScenarioSpec,
+    StaticMpl,
     TopologySpec,
     WorkloadRef,
     execute_scenario,
@@ -1048,6 +1050,132 @@ def fault_tolerance(
     ]
 
 
+# -- replica read-fanout figure: replicas x fan-out sensitivity --------------
+
+#: Shard count held fixed while the replica axis sweeps.
+RF_SHARDS = 2
+
+#: Replica counts swept (0 = the unreplicated baseline).
+RF_REPLICA_COUNTS = (0, 1, 2)
+
+#: Offered load per shard, tx/s — ≈ 87% of setup 3's closed capacity
+#: (≈ 11.5 tx/s at MPL 8), so the primary runs near saturation when it
+#: handles every read itself and fan-out has headroom to relieve it.
+RF_RATE_PER_SHARD = 10.0
+
+#: Per-shard MPL budget (static — the replica axis is the experiment).
+RF_MPL_PER_SHARD = 8
+
+
+def _rf_fanouts(replicas: int) -> Tuple[str, ...]:
+    """Fan-out policies worth running at a replica count.
+
+    With no replicas every policy routes reads to the primary, so only
+    the ``primary`` cell runs; with replicas all three policies differ.
+    """
+    return ("primary",) if replicas == 0 else tuple(READ_FANOUT_POLICIES)
+
+
+def _rf_spec(
+    replicas: int, fanout: str, transactions: int, seed: int = DEFAULT_SEED
+) -> ScenarioSpec:
+    """One read-fanout cell: replicated cluster at fixed offered load."""
+    return ScenarioSpec(
+        workload=WorkloadRef(setup_id=3),
+        arrival=OpenArrivals(rate=RF_RATE_PER_SHARD * RF_SHARDS),
+        topology=TopologySpec(
+            shards=RF_SHARDS,
+            routing="least_in_flight",
+            replicas_per_shard=replicas,
+            read_fanout=fanout,
+        ),
+        control=StaticMpl(mpl=RF_MPL_PER_SHARD * RF_SHARDS),
+        measurement=MeasurementSpec(transactions=transactions),
+        seed=seed,
+        tag=f"rf-{replicas}r-{fanout}",
+    )
+
+
+def replica_fanout_grid(
+    fast: bool = True, mpls: Optional[Sequence[int]] = None
+) -> List[ScenarioSpec]:
+    """The scenario grid behind the read-fanout figure, as data.
+
+    One cell per (replica count, fan-out policy); ``mpls`` is accepted
+    for grid-builder signature compatibility and ignored (the MPL is
+    held fixed — the replica axis is the experiment).
+    """
+    transactions = 350 if fast else 1200
+    return [
+        _rf_spec(replicas, fanout, transactions)
+        for replicas in RF_REPLICA_COUNTS
+        for fanout in _rf_fanouts(replicas)
+    ]
+
+
+def replica_fanout(fast: bool = True) -> List[FigureResult]:
+    """Read fan-out sensitivity: replicas per shard x fan-out policy.
+
+    Setup 3 (TPC-W Browsing, 95% reads) on a 2-shard cluster at fixed
+    offered load near single-engine saturation.  With ``primary``
+    fan-out replicas are pure failover spares — response time never
+    moves off the unreplicated baseline — while ``round_robin`` and
+    ``least_in_flight`` spread the read mix across the group, relieving
+    the near-saturated primary.  Throughput barely moves (the system is
+    open: completions track arrivals while stable), so response time
+    carries the signal.
+    """
+    specs = replica_fanout_grid(fast)
+    cells = {
+        (spec.topology.replicas_per_shard, spec.topology.read_fanout): result
+        for spec, result in zip(specs, run_grid(specs))
+    }
+    xs = tuple(float(r) for r in RF_REPLICA_COUNTS)
+    throughput_series: List[Series] = []
+    response_series: List[Series] = []
+    for fanout in READ_FANOUT_POLICIES:
+        picks = [
+            cells.get((replicas, fanout if replicas else "primary"))
+            if (replicas or fanout == "primary") else None
+            for replicas in RF_REPLICA_COUNTS
+        ]
+        throughput_series.append(Series(
+            label=fanout,
+            ys=tuple(r.throughput if r else _NAN for r in picks),
+        ))
+        response_series.append(Series(
+            label=fanout,
+            ys=tuple(r.mean_response_time if r else _NAN for r in picks),
+        ))
+    scale_note = (
+        f"setup 3 (TPC-W Browsing, 95% reads), {RF_SHARDS} shards, "
+        f"{RF_RATE_PER_SHARD:g} tx/s per shard (≈87% of single-engine "
+        f"capacity), static MPL = {RF_MPL_PER_SHARD} x shards"
+    )
+    return [
+        FigureResult(
+            figure="RF-a",
+            title="Throughput vs replicas per shard by read fan-out",
+            xlabel="replicas per shard",
+            xs=xs,
+            series=tuple(throughput_series),
+            notes=(scale_note,),
+        ),
+        FigureResult(
+            figure="RF-b",
+            title="Mean response time vs replicas per shard by read fan-out",
+            xlabel="replicas per shard",
+            xs=xs,
+            series=tuple(response_series),
+            notes=(
+                scale_note,
+                "primary fan-out leaves replicas idle: its curve is flat "
+                "at the unreplicated baseline",
+            ),
+        ),
+    ]
+
+
 # -- declarative grids (for `repro.experiments bench` and CI) ----------------
 
 
@@ -1127,6 +1255,11 @@ GRID_DEFS: Dict[str, GridDef] = {
         mpls=(),
         panels=(),
         builder=fault_tolerance_grid,
+    ),
+    "rf": GridDef(
+        mpls=(),
+        panels=(),
+        builder=replica_fanout_grid,
     ),
 }
 

@@ -13,6 +13,7 @@ from repro.sim.engine import (
     Agenda,
     AllOf,
     AnyOf,
+    CAgenda,
     Event,
     Interrupt,
     KernelHooks,
@@ -20,6 +21,7 @@ from repro.sim.engine import (
     SimulationError,
     Simulator,
     Timeout,
+    resolve_kernel_lane,
 )
 from repro.sim.distributions import (
     BlockSampler,
@@ -42,6 +44,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "BlockSampler",
+    "CAgenda",
     "Deterministic",
     "Distribution",
     "Empirical",
@@ -61,4 +64,5 @@ __all__ = [
     "Timeout",
     "Uniform",
     "fit_hyperexponential",
+    "resolve_kernel_lane",
 ]

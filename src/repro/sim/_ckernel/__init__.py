@@ -1,0 +1,51 @@
+"""Optional compiled (cffi) kernel lane — build unit and loader.
+
+The package ships ``kernel.c`` (the C mirror of the agenda heap, the
+run loop's phase-1 drain, and the PS-pool settle kernel) plus a cffi
+builder.  The compiled module is *optional*: the pure-Python lane is
+canonical, and everything here degrades to "not available" when cffi,
+a C compiler, or the built artifact is missing.
+
+    python -m repro.sim._ckernel.builder   # or: make ckernel
+
+builds ``repro.sim._ckernel._ckernel`` in place under ``src/``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+_LOADED: Optional[Tuple[object, object]] = None
+_LOAD_FAILED = False
+
+
+def load() -> Optional[Tuple[object, object]]:
+    """Return ``(ffi, lib)`` for the built extension, or None."""
+    global _LOADED, _LOAD_FAILED
+    if _LOADED is not None:
+        return _LOADED
+    if _LOAD_FAILED:
+        return None
+    try:
+        from repro.sim._ckernel import _ckernel  # type: ignore[attr-defined]
+    except ImportError:
+        _LOAD_FAILED = True
+        return None
+    _LOADED = (_ckernel.ffi, _ckernel.lib)
+    return _LOADED
+
+
+def available() -> bool:
+    """Whether the compiled kernel lane is built and importable."""
+    return load() is not None
+
+
+def build(verbose: bool = False) -> str:
+    """Compile the extension in place (requires cffi + a C compiler)."""
+    from repro.sim._ckernel.builder import build as _build
+
+    path = _build(verbose=verbose)
+    # a fresh build supersedes any earlier failed-load memo
+    global _LOAD_FAILED
+    _LOAD_FAILED = False
+    return path

@@ -1,0 +1,83 @@
+"""cffi out-of-line builder for the compiled kernel lane.
+
+Run ``python -m repro.sim._ckernel.builder`` (or ``make ckernel``) to
+compile ``kernel.c`` into the extension module
+``repro.sim._ckernel._ckernel``.  The build needs cffi and a C
+compiler; neither is a dependency of the package — where they are
+missing the pure-Python lane (the canonical implementation) simply
+keeps running and :func:`repro.sim._ckernel.available` stays False.
+
+``-ffp-contract=off`` matters: it forbids fused multiply-add
+contraction, so the C arithmetic performs exactly the IEEE-754
+binary64 operations, in exactly the order, that the Python source
+does — the bit-identical-across-lanes guarantee rests on it.
+"""
+
+from __future__ import annotations
+
+import os
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: The C functions the Python wrappers call (the declarations cffi
+#: exposes on ``lib``); kernel.c is the single source of truth for the
+#: definitions.
+CDEF = """
+typedef struct ck_agenda ck_agenda;
+typedef struct ck_pool ck_pool;
+
+ck_agenda *ck_agenda_new(void);
+void ck_agenda_free(ck_agenda *a);
+void ck_heap_push(ck_agenda *a, double when, int64_t handle);
+double ck_peek(ck_agenda *a);
+int64_t ck_heap_len(ck_agenda *a);
+int64_t ck_sequence(ck_agenda *a);
+int ck_pop(ck_agenda *a, double *when, int64_t *seq, int64_t *handle);
+int ck_drain(ck_agenda *a, double now_t, int64_t *handle_out, int32_t *pool_out);
+
+ck_pool *ck_pool_new(ck_agenda *a, int cores, double speed);
+void ck_pool_free(ck_pool *p);
+int ck_pool_id(ck_pool *p);
+int32_t ck_pool_active_jobs(ck_pool *p);
+int32_t ck_pool_finished_count(ck_pool *p);
+int32_t ck_pool_finished_at(ck_pool *p, int32_t i);
+double ck_pool_raw_busy_core_time(ck_pool *p);
+double ck_pool_remaining_at(ck_pool *p, int32_t i);
+int64_t ck_pool_generation(ck_pool *p);
+int ck_pool_uniform_mode(ck_pool *p);
+double ck_pool_uniform_rate(ck_pool *p);
+int32_t ck_pool_execute(ck_pool *p, double now, double demand, double weight);
+int32_t ck_pool_timer_fire(ck_pool *p, double now, int64_t gen);
+void ck_pool_settle_metrics(ck_pool *p, double now);
+int32_t ck_pool_set_weight(ck_pool *p, double now, int32_t index, double new_weight);
+"""
+
+
+def make_ffibuilder():
+    """Build the FFI object (imports cffi; callers gate on its absence)."""
+    from cffi import FFI
+
+    ffibuilder = FFI()
+    ffibuilder.cdef(CDEF)
+    with open(os.path.join(_HERE, "kernel.c"), "r", encoding="utf-8") as fh:
+        source = fh.read()
+    ffibuilder.set_source(
+        "repro.sim._ckernel._ckernel",
+        source,
+        extra_compile_args=["-O2", "-ffp-contract=off"],
+    )
+    return ffibuilder
+
+
+def build(verbose: bool = False) -> str:
+    """Compile the extension in place (under ``src/``); returns its path."""
+    ffibuilder = make_ffibuilder()
+    # src/repro/sim/_ckernel -> src; cffi lays the module out under the
+    # package path derived from its dotted name, i.e. back into this
+    # directory.
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(_HERE)))
+    return ffibuilder.compile(tmpdir=src_root, verbose=verbose)
+
+
+if __name__ == "__main__":
+    print(build(verbose=True))

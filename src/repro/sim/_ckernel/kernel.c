@@ -1,0 +1,573 @@
+/* The compiled kernel lane: a C agenda heap and PS-pool settle kernel.
+ *
+ * This file is compiled by cffi (see builder.py) into the extension
+ * module ``repro.sim._ckernel._ckernel``.  It mirrors — operation for
+ * operation, in the same order — the pure-Python hot paths it
+ * replaces:
+ *
+ *   ck_agenda     <-> repro.sim.engine.Agenda's (when, sequence) heap
+ *   ck_drain      <-> the phase-1 heap drain of Simulator.run()
+ *   ck_pool       <-> repro.dbms.cpu.ProcessorSharingPool's settle /
+ *                     water-fill / completion-timer machinery
+ *
+ * Everything is IEEE-754 binary64 arithmetic in exactly the operation
+ * order of the Python source (builder.py compiles with
+ * ``-ffp-contract=off`` so no FMA contraction can reassociate it), so
+ * simulated timestamps are bit-identical across lanes.  The Python
+ * lane stays canonical: when in doubt about an edge case, the answer
+ * is "whatever cpu.py / engine.py does".
+ *
+ * Handle protocol (the int64 payload of a heap entry):
+ *   handle >= 0   a Python-side event: an index into CAgenda._slots.
+ *   handle <  0   a pool completion timer owned by this C kernel:
+ *                 handle = -((generation << 8) | pool_id) - 1.
+ *                 Stale generations (superseded by a reallocation) are
+ *                 recognized and dropped entirely inside ck_drain,
+ *                 exactly like ProcessorSharingPool._on_timer.
+ *
+ * A pool timer armed for ``now + delay`` is pushed on the heap even in
+ * the pathological case where float addition rounds ``when`` back to
+ * the current instant (the Python lane would route that to the
+ * same-instant FIFO).  With demands >= 1e-9 and simulated times of
+ * seconds this cannot happen before ``now`` exceeds ~4e6 s, far past
+ * any experiment; both lanes would loop at that instant regardless, so
+ * the lanes cannot diverge on any terminating run.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+
+#define CK_EPSILON 1e-9
+#define CK_MAX_POOLS 256
+
+/* -- agenda heap ------------------------------------------------------ */
+
+typedef struct {
+    double when;
+    int64_t seq;
+    int64_t handle;
+} ck_entry;
+
+struct ck_pool;
+
+typedef struct ck_agenda {
+    ck_entry *heap;
+    int64_t len;
+    int64_t cap;
+    int64_t next_seq; /* pre-incremented: first entry gets seq 1, like Agenda */
+    struct ck_pool *pools[CK_MAX_POOLS];
+    int npools;
+} ck_agenda;
+
+static void *ck_xrealloc(void *p, size_t size) {
+    void *q = realloc(p, size);
+    if (q == NULL)
+        abort(); /* out of memory: nothing sensible to do mid-simulation */
+    return q;
+}
+
+ck_agenda *ck_agenda_new(void) {
+    ck_agenda *a = (ck_agenda *)calloc(1, sizeof(ck_agenda));
+    if (a == NULL)
+        abort();
+    a->cap = 1024;
+    a->heap = (ck_entry *)ck_xrealloc(NULL, (size_t)a->cap * sizeof(ck_entry));
+    return a;
+}
+
+void ck_agenda_free(ck_agenda *a) {
+    if (a == NULL)
+        return;
+    free(a->heap);
+    free(a);
+}
+
+/* Strict (when, seq) lexicographic order: seq values are unique, so
+ * this is a total order and pop order is independent of the heap's
+ * internal arrangement — identical to heapq over (when, seq, event)
+ * tuples. */
+static int ck_lt(const ck_entry *x, const ck_entry *y) {
+    if (x->when != y->when)
+        return x->when < y->when;
+    return x->seq < y->seq;
+}
+
+void ck_heap_push(ck_agenda *a, double when, int64_t handle) {
+    if (a->len == a->cap) {
+        a->cap *= 2;
+        a->heap = (ck_entry *)ck_xrealloc(a->heap, (size_t)a->cap * sizeof(ck_entry));
+    }
+    a->next_seq += 1;
+    int64_t pos = a->len++;
+    ck_entry item;
+    item.when = when;
+    item.seq = a->next_seq;
+    item.handle = handle;
+    /* sift up */
+    while (pos > 0) {
+        int64_t parent = (pos - 1) >> 1;
+        if (!ck_lt(&item, &a->heap[parent]))
+            break;
+        a->heap[pos] = a->heap[parent];
+        pos = parent;
+    }
+    a->heap[pos] = item;
+}
+
+static ck_entry ck_heap_pop(ck_agenda *a) {
+    ck_entry top = a->heap[0];
+    ck_entry last = a->heap[--a->len];
+    if (a->len > 0) {
+        /* sift down */
+        int64_t pos = 0;
+        int64_t half = a->len >> 1;
+        while (pos < half) {
+            int64_t child = 2 * pos + 1;
+            if (child + 1 < a->len && ck_lt(&a->heap[child + 1], &a->heap[child]))
+                child += 1;
+            if (!ck_lt(&a->heap[child], &last))
+                break;
+            a->heap[pos] = a->heap[child];
+            pos = child;
+        }
+        a->heap[pos] = last;
+    }
+    return top;
+}
+
+double ck_peek(ck_agenda *a) {
+    if (a->len == 0)
+        return 1.0 / 0.0; /* +inf, like Agenda.peek on an empty heap */
+    return a->heap[0].when;
+}
+
+int64_t ck_heap_len(ck_agenda *a) { return a->len; }
+
+int64_t ck_sequence(ck_agenda *a) { return a->next_seq; }
+
+int ck_pop(ck_agenda *a, double *when, int64_t *seq, int64_t *handle) {
+    if (a->len == 0)
+        return 0;
+    ck_entry e = ck_heap_pop(a);
+    *when = e.when;
+    *seq = e.seq;
+    *handle = e.handle;
+    return 1;
+}
+
+/* -- processor-sharing pool ------------------------------------------- */
+
+/* Jobs live in dense parallel arrays in admission order; completions
+ * compact the arrays preserving that order, which is exactly the
+ * iteration order of the Python dict in ProcessorSharingPool._jobs.
+ * The Python wrapper keeps a mirror list (event, demand, priority) in
+ * the same order, indexed by the pre-compaction indices this kernel
+ * reports through ck_pool_finished_*. */
+typedef struct ck_pool {
+    ck_agenda *agenda;
+    int pool_id;
+    int cores;
+    double speed;
+    double capacity;  /* cores * speed */
+    double speed_eps; /* speed - CK_EPSILON */
+    double *remaining;
+    double *weight;
+    double *rate;
+    unsigned char *active; /* water-fill scratch */
+    int32_t *finished;     /* pre-compaction indices, ascending */
+    int32_t n;
+    int32_t cap;
+    int32_t finished_n;
+    int32_t weighted; /* jobs with weight != 1.0 */
+    int uniform_mode; /* mirrors `_uniform_rate is not None` */
+    double uniform_rate;
+    double last_settle;
+    int64_t generation;
+    double least_remaining;
+    int has_least; /* mirrors `_least_remaining is not None` */
+    int least_valid;
+    int needs_scan;
+    double busy_core_time;
+} ck_pool;
+
+ck_pool *ck_pool_new(ck_agenda *a, int cores, double speed) {
+    if (a->npools >= CK_MAX_POOLS)
+        return NULL; /* caller falls back to the pure-Python pool */
+    ck_pool *p = (ck_pool *)calloc(1, sizeof(ck_pool));
+    if (p == NULL)
+        abort();
+    p->agenda = a;
+    p->pool_id = a->npools;
+    a->pools[a->npools++] = p;
+    p->cores = cores;
+    p->speed = speed;
+    p->capacity = cores * speed;
+    p->speed_eps = speed - CK_EPSILON;
+    p->cap = 64;
+    p->remaining = (double *)ck_xrealloc(NULL, (size_t)p->cap * sizeof(double));
+    p->weight = (double *)ck_xrealloc(NULL, (size_t)p->cap * sizeof(double));
+    p->rate = (double *)ck_xrealloc(NULL, (size_t)p->cap * sizeof(double));
+    p->active = (unsigned char *)ck_xrealloc(NULL, (size_t)p->cap);
+    p->finished = (int32_t *)ck_xrealloc(NULL, (size_t)p->cap * sizeof(int32_t));
+    p->uniform_mode = 1;
+    p->uniform_rate = 0.0;
+    p->least_valid = 1;
+    return p;
+}
+
+void ck_pool_free(ck_pool *p) {
+    if (p == NULL)
+        return;
+    free(p->remaining);
+    free(p->weight);
+    free(p->rate);
+    free(p->active);
+    free(p->finished);
+    free(p);
+}
+
+int ck_pool_id(ck_pool *p) { return p->pool_id; }
+int32_t ck_pool_active_jobs(ck_pool *p) { return p->n; }
+int32_t ck_pool_finished_count(ck_pool *p) { return p->finished_n; }
+int32_t ck_pool_finished_at(ck_pool *p, int32_t i) { return p->finished[i]; }
+double ck_pool_raw_busy_core_time(ck_pool *p) { return p->busy_core_time; }
+double ck_pool_remaining_at(ck_pool *p, int32_t i) { return p->remaining[i]; }
+int64_t ck_pool_generation(ck_pool *p) { return p->generation; }
+int ck_pool_uniform_mode(ck_pool *p) { return p->uniform_mode; }
+double ck_pool_uniform_rate(ck_pool *p) { return p->uniform_rate; }
+
+static void ck_pool_grow(ck_pool *p) {
+    p->cap *= 2;
+    p->remaining = (double *)ck_xrealloc(p->remaining, (size_t)p->cap * sizeof(double));
+    p->weight = (double *)ck_xrealloc(p->weight, (size_t)p->cap * sizeof(double));
+    p->rate = (double *)ck_xrealloc(p->rate, (size_t)p->cap * sizeof(double));
+    p->active = (unsigned char *)ck_xrealloc(p->active, (size_t)p->cap);
+    p->finished = (int32_t *)ck_xrealloc(p->finished, (size_t)p->cap * sizeof(int32_t));
+}
+
+/* Mirror of ProcessorSharingPool._settle_scan: settle served work and
+ * scan the jobs in one pass, collecting finished indices into
+ * p->finished and (uniform mode) the min surviving remaining work. */
+static void ck_settle_scan(ck_pool *p, double now, double *least, int *has_least) {
+    double dt = now - p->last_settle;
+    double total_rate = 0.0;
+    p->finished_n = 0;
+    *has_least = 0;
+    *least = 0.0;
+    if (p->uniform_mode) {
+        double rate = p->uniform_rate;
+        if (dt == 0.0 && p->least_valid && !p->needs_scan) {
+            /* same-instant re-settle: the pass would be the identity */
+            *has_least = p->has_least;
+            *least = p->least_remaining;
+            return;
+        }
+        p->last_settle = now;
+        for (int32_t i = 0; i < p->n; i++) {
+            double remaining = p->remaining[i] - rate * dt;
+            if (remaining < 0.0)
+                remaining = 0.0;
+            p->remaining[i] = remaining;
+            total_rate += rate;
+            if (remaining <= CK_EPSILON) {
+                p->finished[p->finished_n++] = i;
+            } else if (!*has_least || remaining < *least) {
+                *has_least = 1;
+                *least = remaining;
+            }
+        }
+        p->has_least = *has_least;
+        p->least_remaining = *least;
+        p->least_valid = 1;
+        p->needs_scan = 0;
+    } else {
+        p->last_settle = now;
+        p->least_valid = 0;
+        for (int32_t i = 0; i < p->n; i++) {
+            double rate = p->rate[i];
+            double remaining = p->remaining[i] - rate * dt;
+            if (remaining < 0.0)
+                remaining = 0.0;
+            p->remaining[i] = remaining;
+            total_rate += rate;
+            if (remaining <= CK_EPSILON)
+                p->finished[p->finished_n++] = i;
+        }
+    }
+    p->busy_core_time += (total_rate / p->speed) * dt;
+}
+
+/* Mirror of the inlined uniform water-fill in execute/_finish_jobs. */
+static void ck_uniform_fill(ck_pool *p) {
+    int32_t n = p->n;
+    double capacity = p->capacity;
+    p->uniform_mode = 1;
+    if (n == 0 || capacity <= CK_EPSILON) {
+        p->uniform_rate = 0.0;
+        return;
+    }
+    double share = capacity / n;
+    p->uniform_rate = (share >= p->speed_eps) ? p->speed : share;
+}
+
+/* Mirror of ProcessorSharingPool._water_fill (the weighted general
+ * path; the uniform case is ck_uniform_fill). */
+static void ck_water_fill(ck_pool *p) {
+    if (p->weighted == 0) {
+        ck_uniform_fill(p);
+        return;
+    }
+    p->uniform_mode = 0; /* per-job rates own the allocation now */
+    int32_t n = p->n;
+    int32_t active_n = n;
+    for (int32_t i = 0; i < n; i++) {
+        p->rate[i] = 0.0;
+        p->active[i] = 1;
+    }
+    double capacity = (double)p->cores * p->speed;
+    while (active_n > 0 && capacity > CK_EPSILON) {
+        double total_weight = 0.0;
+        for (int32_t i = 0; i < n; i++)
+            if (p->active[i])
+                total_weight += p->weight[i];
+        double share_per_weight = capacity / total_weight;
+        int32_t capped = 0;
+        for (int32_t i = 0; i < n; i++)
+            if (p->active[i] && p->weight[i] * share_per_weight >= p->speed - CK_EPSILON)
+                capped += 1;
+        if (capped == 0) {
+            for (int32_t i = 0; i < n; i++)
+                if (p->active[i])
+                    p->rate[i] = p->weight[i] * share_per_weight;
+            return;
+        }
+        for (int32_t i = 0; i < n; i++)
+            if (p->active[i] && p->weight[i] * share_per_weight >= p->speed - CK_EPSILON) {
+                p->rate[i] = p->speed;
+                capacity -= p->speed;
+            }
+        active_n = 0;
+        for (int32_t i = 0; i < n; i++) {
+            p->active[i] = p->active[i] && (p->rate[i] == 0.0);
+            if (p->active[i])
+                active_n += 1;
+        }
+    }
+}
+
+/* The in-kernel half of _finish_jobs: drop the jobs listed in
+ * p->finished (ascending, pre-compaction indices), keep survivor
+ * order, and re-fill the freed capacity.  Firing the completion
+ * events and recording per-class stats stays in Python
+ * (CProcessorSharingPool._finish_from_c), which reads p->finished
+ * before the next kernel call overwrites it. */
+static void ck_finish_internal(ck_pool *p) {
+    int32_t fn = p->finished_n;
+    if (fn > 0) {
+        for (int32_t k = 0; k < fn; k++)
+            if (p->weight[p->finished[k]] != 1.0)
+                p->weighted -= 1;
+        int32_t w = 0, k = 0;
+        for (int32_t i = 0; i < p->n; i++) {
+            if (k < fn && p->finished[k] == i) {
+                k += 1;
+                continue;
+            }
+            if (w != i) {
+                p->remaining[w] = p->remaining[i];
+                p->weight[w] = p->weight[i];
+                p->rate[w] = p->rate[i];
+            }
+            w += 1;
+        }
+        p->n = w;
+    }
+    if (p->weighted == 0)
+        ck_uniform_fill(p);
+    else
+        ck_water_fill(p);
+}
+
+/* Push the completion timer for the *current* generation: exactly
+ * ``sim.timeout(max(0.0, delay), value=generation)`` on the Python
+ * lane, which schedules at ``sim.now + delay``. */
+static void ck_arm_push(ck_pool *p, double now, double delay) {
+    if (delay < 0.0)
+        delay = 0.0; /* max(0.0, next_finish) */
+    double when = now + delay;
+    int64_t handle = -((p->generation << 8) | (int64_t)p->pool_id) - 1;
+    ck_heap_push(p->agenda, when, handle);
+}
+
+/* Mirror of ProcessorSharingPool._arm_timer (the full-scan arm). */
+static void ck_arm_timer(ck_pool *p, double now) {
+    p->generation += 1;
+    if (p->uniform_mode) {
+        int has = 0;
+        double least = 0.0;
+        for (int32_t i = 0; i < p->n; i++) {
+            double remaining = p->remaining[i];
+            if (!has || remaining < least) {
+                has = 1;
+                least = remaining;
+            }
+        }
+        p->has_least = has;
+        p->least_remaining = least;
+        p->least_valid = 1;
+        if (has && p->uniform_rate > CK_EPSILON)
+            ck_arm_push(p, now, least / p->uniform_rate);
+    } else {
+        p->least_valid = 0;
+        int has = 0;
+        double next_finish = 0.0;
+        for (int32_t i = 0; i < p->n; i++) {
+            if (p->rate[i] > CK_EPSILON) {
+                double eta = p->remaining[i] / p->rate[i];
+                if (!has || eta < next_finish) {
+                    has = 1;
+                    next_finish = eta;
+                }
+            }
+        }
+        if (has)
+            ck_arm_push(p, now, next_finish);
+    }
+}
+
+/* Mirror of the hot middle of ProcessorSharingPool.execute (between
+ * the validation and the return): settle, admit one job of ``demand``
+ * and ``weight``, re-fill, complete in-kernel bookkeeping, arm the
+ * next completion timer.  Returns the number of finished jobs the
+ * settle pass surfaced (their pre-compaction indices are in
+ * p->finished for the Python wrapper to fire). */
+int32_t ck_pool_execute(ck_pool *p, double now, double demand, double weight) {
+    int uniform_scan = p->uniform_mode;
+    double least;
+    int has_least;
+    ck_settle_scan(p, now, &least, &has_least);
+    int32_t fn = p->finished_n;
+    if (p->n == p->cap)
+        ck_pool_grow(p);
+    int32_t idx = p->n++;
+    p->remaining[idx] = demand;
+    p->weight[idx] = weight;
+    p->rate[idx] = 0.0;
+    if (weight != 1.0)
+        p->weighted += 1;
+    if (p->weighted == 0)
+        ck_uniform_fill(p);
+    else
+        ck_water_fill(p);
+    if (fn > 0)
+        ck_finish_internal(p); /* the new job is never among them */
+    if (p->uniform_mode && uniform_scan) {
+        /* steady uniform mode: the next finisher is simply
+         * min(survivors, the new job's demand) */
+        p->generation += 1;
+        double remaining = demand;
+        if (!has_least || remaining < least) {
+            least = remaining;
+            has_least = 1;
+        }
+        p->least_remaining = least;
+        p->has_least = has_least;
+        if (p->uniform_rate > CK_EPSILON)
+            ck_arm_push(p, now, least / p->uniform_rate);
+    } else {
+        ck_arm_timer(p, now);
+    }
+    return fn;
+}
+
+/* Mirror of ProcessorSharingPool._on_timer for a timer of generation
+ * ``gen`` firing at ``now``.  Returns the number of finished jobs (0
+ * for a stale generation). */
+int32_t ck_pool_timer_fire(ck_pool *p, double now, int64_t gen) {
+    if (gen != p->generation)
+        return 0; /* superseded by a later reallocation */
+    int uniform_scan = p->uniform_mode;
+    double least;
+    int has_least;
+    ck_settle_scan(p, now, &least, &has_least);
+    int32_t fn = p->finished_n;
+    if (fn > 0)
+        ck_finish_internal(p);
+    if (p->uniform_mode && uniform_scan) {
+        p->generation += 1;
+        if (has_least && p->uniform_rate > CK_EPSILON)
+            ck_arm_push(p, now, least / p->uniform_rate);
+    } else {
+        ck_arm_timer(p, now);
+    }
+    return fn;
+}
+
+/* Mirror of ProcessorSharingPool._settle (the metrics face): settle,
+ * but leave any surfaced completions pending for the next pool
+ * event's scan. */
+void ck_pool_settle_metrics(ck_pool *p, double now) {
+    double least;
+    int has_least;
+    ck_settle_scan(p, now, &least, &has_least);
+    if (p->finished_n > 0)
+        p->needs_scan = 1;
+    p->finished_n = 0;
+}
+
+/* Mirror of ProcessorSharingPool.set_weight past the validation:
+ * settle, swap the weight of the job at dense index ``index``,
+ * re-allocate, complete anything already done, re-arm.  Returns the
+ * finished count (indices in p->finished). */
+int32_t ck_pool_set_weight(ck_pool *p, double now, int32_t index, double new_weight) {
+    double least;
+    int has_least;
+    ck_settle_scan(p, now, &least, &has_least);
+    if (p->finished_n > 0)
+        p->needs_scan = 1;
+    if ((p->weight[index] != 1.0) != (new_weight != 1.0))
+        p->weighted += (new_weight != 1.0) ? 1 : -1;
+    p->weight[index] = new_weight;
+    ck_water_fill(p);
+    /* _complete_finished */
+    p->finished_n = 0;
+    for (int32_t i = 0; i < p->n; i++)
+        if (p->remaining[i] <= CK_EPSILON)
+            p->finished[p->finished_n++] = i;
+    int32_t fn = p->finished_n;
+    if (fn > 0)
+        ck_finish_internal(p);
+    ck_arm_timer(p, now);
+    return fn;
+}
+
+/* -- the drain loop ---------------------------------------------------- */
+
+/* Phase 1 of Simulator.run() for the C lane: pop heap entries at the
+ * current instant.  Pool timers (negative handles) are consumed
+ * entirely in-kernel — stale-generation drop, settle, completion
+ * bookkeeping, re-arm — without surfacing to Python unless jobs
+ * actually finished.  Returns:
+ *   0  no more entries at now_t (heap empty or top is later)
+ *   1  a Python event popped; its slot index is in *handle_out
+ *   2  a pool timer completed jobs; the pool id is in *pool_out and
+ *      the finished indices await ck_pool_finished_* (the caller must
+ *      fire them before the next kernel call).
+ */
+int ck_drain(ck_agenda *a, double now_t, int64_t *handle_out, int32_t *pool_out) {
+    while (a->len > 0 && a->heap[0].when == now_t) {
+        ck_entry e = ck_heap_pop(a);
+        if (e.handle >= 0) {
+            *handle_out = e.handle;
+            return 1;
+        }
+        int64_t v = -(e.handle + 1);
+        ck_pool *p = a->pools[v & 0xFF];
+        int32_t fn = ck_pool_timer_fire(p, now_t, v >> 8);
+        if (fn > 0) {
+            *pool_out = p->pool_id;
+            return 2;
+        }
+    }
+    return 0;
+}

@@ -26,6 +26,7 @@ from repro.workloads.tpcc import tpcc_workload
 from repro.workloads.tpcw import tpcw_workload
 from repro.workloads.traces import (
     auction_site_trace,
+    load_trace_file,
     online_retailer_trace,
     trace_workload,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "auction_site_trace",
     "get_setup",
     "get_workload",
+    "load_trace_file",
     "online_retailer_trace",
     "synthetic_workload",
     "tpcc_workload",

@@ -13,9 +13,13 @@ substitution is behaviour-preserving.
 
 from __future__ import annotations
 
+import csv
 import dataclasses
 import functools
 import hashlib
+import io
+import json
+import os
 import random
 import struct
 from typing import Callable, Dict, List, Optional, Sequence
@@ -38,6 +42,9 @@ class Trace:
 
     name: str
     records: Sequence[TraceRecord]
+    #: Pre-computed content identity (file-backed traces use the file's
+    #: sha256); None lets :attr:`digest` derive it from the records.
+    content_digest: Optional[str] = None
 
     @property
     def demands(self) -> List[float]:
@@ -62,8 +69,13 @@ class Trace:
         The content identity of the trace: two traces share a digest
         iff they replay bit-identically, which is what lets
         :class:`~repro.core.arrivals.TraceArrivals` use it as the
-        cache-key contribution of a trace-driven scenario.
+        cache-key contribution of a trace-driven scenario.  File-backed
+        traces carry the sha256 of the file bytes instead (any textual
+        change to the file — even one that parses to the same floats —
+        deliberately invalidates cached results).
         """
+        if self.content_digest is not None:
+            return self.content_digest
         hasher = hashlib.sha256()
         for record in self.records:
             hasher.update(
@@ -113,6 +125,105 @@ TRACE_FACTORIES: Dict[str, Callable[..., Trace]] = {
     "auction-site": auction_site_trace,
 }
 
+#: Trace-name prefix that routes :func:`get_trace` to a file on disk.
+FILE_TRACE_PREFIX = "file:"
+
+
+def _parse_trace_row(timestamp: str, demand: str, where: str) -> TraceRecord:
+    try:
+        arrival = float(timestamp)
+        service = float(demand)
+    except (TypeError, ValueError):
+        raise ValueError(f"{where}: non-numeric trace row ({timestamp!r}, {demand!r})")
+    if service < 0:
+        raise ValueError(f"{where}: negative service demand {service!r}")
+    return TraceRecord(arrival, service)
+
+
+def _parse_trace_csv(text: str, path: str) -> List[TraceRecord]:
+    records: List[TraceRecord] = []
+    saw_data_row = False
+    for lineno, row in enumerate(csv.reader(io.StringIO(text)), start=1):
+        if not row or (len(row) == 1 and not row[0].strip()):
+            continue  # blank line
+        first = row[0].strip()
+        if first.startswith("#"):
+            continue  # comment
+        if len(row) < 2:
+            raise ValueError(f"{path}:{lineno}: expected 'timestamp,demand', got {row!r}")
+        if not saw_data_row:
+            saw_data_row = True
+            try:
+                float(first)
+            except ValueError:
+                continue  # header row
+        records.append(_parse_trace_row(first, row[1].strip(), f"{path}:{lineno}"))
+    return records
+
+
+def _parse_trace_jsonl(text: str, path: str) -> List[TraceRecord]:
+    records: List[TraceRecord] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        where = f"{path}:{lineno}"
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{where}: invalid JSON ({exc})")
+        if isinstance(payload, dict):
+            if "timestamp" not in payload or "demand" not in payload:
+                raise ValueError(
+                    f"{where}: JSONL rows need 'timestamp' and 'demand' keys, "
+                    f"got {sorted(payload)!r}"
+                )
+            records.append(
+                _parse_trace_row(payload["timestamp"], payload["demand"], where)
+            )
+        elif isinstance(payload, (list, tuple)) and len(payload) == 2:
+            records.append(_parse_trace_row(payload[0], payload[1], where))
+        else:
+            raise ValueError(
+                f"{where}: expected an object or a [timestamp, demand] pair, "
+                f"got {payload!r}"
+            )
+    return records
+
+
+def load_trace_file(path: str) -> Trace:
+    """Load a timestamp+demand trace from a CSV or JSONL file.
+
+    CSV rows are ``timestamp,demand`` (an optional header row and
+    ``#`` comments are skipped); ``.jsonl`` / ``.ndjson`` files carry
+    one ``{"timestamp": ..., "demand": ...}`` object (or a two-element
+    ``[timestamp, demand]`` array) per line.  Timestamps are arrival
+    offsets in seconds and must be non-decreasing; demands are CPU
+    seconds.  The trace's :attr:`Trace.digest` is the sha256 of the
+    raw file bytes (ROADMAP corpus item (a)): the file *is* the
+    experiment input, so its exact bytes are the cache identity.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    text = raw.decode("utf-8")
+    if path.endswith((".jsonl", ".ndjson")):
+        records = _parse_trace_jsonl(text, path)
+    else:
+        records = _parse_trace_csv(text, path)
+    if not records:
+        raise ValueError(f"{path}: trace file contains no records")
+    for i, (a, b) in enumerate(zip(records, records[1:]), start=1):
+        if b.arrival_time < a.arrival_time:
+            raise ValueError(
+                f"{path}: arrival timestamps must be non-decreasing "
+                f"(record {i + 1}: {b.arrival_time!r} < {a.arrival_time!r})"
+            )
+    return Trace(
+        name=os.path.basename(path),
+        records=tuple(records),
+        content_digest=hashlib.sha256(raw).hexdigest(),
+    )
+
 
 @functools.lru_cache(maxsize=32)
 def get_trace(
@@ -126,13 +237,24 @@ def get_trace(
     trace-driven scenario otherwise regenerates the same stream
     several times over — at spec construction (the content digest), at
     workload resolution, at arrival build, and on every fingerprint
-    call.
+    call.  Names of the form ``file:PATH`` load ``PATH`` via
+    :func:`load_trace_file` (the file is read once per process; its
+    sha256 becomes the trace digest), and take no generation
+    parameters.
     """
+    if name.startswith(FILE_TRACE_PREFIX):
+        if transactions is not None or seed is not None:
+            raise ValueError(
+                "file-backed traces take no generation parameters "
+                f"(got transactions={transactions!r}, seed={seed!r} for {name!r})"
+            )
+        return load_trace_file(name[len(FILE_TRACE_PREFIX):])
     factory = TRACE_FACTORIES.get(name)
     if factory is None:
         raise ValueError(
             f"unknown trace {name!r}; available: "
             + ", ".join(sorted(TRACE_FACTORIES))
+            + f", or '{FILE_TRACE_PREFIX}PATH' for a CSV/JSONL file"
         )
     kwargs = {}
     if transactions is not None:

@@ -1,0 +1,233 @@
+"""Dual-lane parity: the compiled kernel must be bit-identical to Python.
+
+The compiled (cffi) lane re-implements the agenda heap, the run loop's
+phase-1 drain, and the PS-pool settle kernel in C.  Nothing here is
+allowed to be "close": every test asserts *exact* equality — pop
+order, sequence numbers, event timestamps, canonical result JSON —
+because lane choice must never change results (only wall-clock).
+
+Every C-lane test is skipped when the extension is not built, so the
+suite passes unchanged on a box without a compiler.
+"""
+
+import json
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships with [dev]
+    HAVE_HYPOTHESIS = False
+
+from repro.core.scenario import execute_scenario
+from repro.dbms.cpu import CProcessorSharingPool, ProcessorSharingPool, make_ps_pool
+from repro.experiments.runner import scenario_for
+from repro.sim import _ckernel
+from repro.sim.engine import (
+    CAgenda,
+    SimulationError,
+    Simulator,
+    resolve_kernel_lane,
+)
+from repro.workloads.setups import get_setup
+
+needs_c = pytest.mark.skipif(
+    not _ckernel.available(), reason="compiled kernel lane is not built"
+)
+needs_hypothesis = pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis is not installed"
+)
+
+
+# -- lane resolution ----------------------------------------------------------
+
+
+def test_default_lane_is_python(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    assert resolve_kernel_lane() == "py"
+    assert Simulator().kernel_lane == "py"
+
+
+def test_env_selects_lane(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "py")
+    assert resolve_kernel_lane() == "py"
+
+
+def test_explicit_lane_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "c")
+    assert resolve_kernel_lane("py") == "py"
+
+
+def test_unknown_lane_rejected():
+    with pytest.raises(SimulationError):
+        resolve_kernel_lane("fortran")
+
+
+def test_auto_lane_resolves():
+    lane = resolve_kernel_lane("auto")
+    assert lane == ("c" if _ckernel.available() else "py")
+
+
+@needs_c
+def test_c_lane_simulator_uses_cagenda():
+    sim = Simulator(kernel_lane="c")
+    assert sim.kernel_lane == "c"
+    assert isinstance(sim._agenda, CAgenda)
+
+
+# -- agenda parity (property-based) -------------------------------------------
+
+# delays are multiples of small binary fractions, so `now + delay`
+# frequently lands on existing timestamps and exercises tie-breaking,
+# and 0.0 exercises the same-instant FIFO on both lanes
+_DELAYS = (0.0, 0.0, 0.25, 0.25, 0.5, 1.0, 1.0, 2.75)
+
+_ops_strategy = (
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("schedule"), st.sampled_from(_DELAYS)),
+            st.just("pop"),
+            st.just("flush"),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+    if HAVE_HYPOTHESIS
+    else None
+)
+
+
+def _replay(ops):
+    """Drive both agendas through ``ops``; return both pop histories.
+
+    Events are matched across lanes by creation index, so a history is
+    a list of ``(when, sequence, event_index)`` triples — the complete
+    observable order of the agenda.
+    """
+    sims = (Simulator(kernel_lane="py"), Simulator(kernel_lane="c"))
+    agendas = tuple(sim._agenda for sim in sims)
+    events = ([], [])
+    indexes = ({}, {})
+    histories = ([], [])
+    pending = 0
+    for op in ops:
+        if op == "pop":
+            if not pending:
+                continue
+            counts = []
+            for lane, agenda in enumerate(agendas):
+                batch = []
+                counts.append(agenda.pop_batch(batch))
+                histories[lane].extend(
+                    (when, seq, indexes[lane][id(event)])
+                    for when, seq, event in batch
+                )
+            assert counts[0] == counts[1]
+            pending -= counts[0]
+        elif op == "flush":
+            for agenda in agendas:
+                agenda.flush()
+        else:
+            _, delay = op
+            for lane, (sim, agenda) in enumerate(zip(sims, agendas)):
+                event = sim.event()
+                indexes[lane][id(event)] = len(events[lane])
+                events[lane].append(event)
+                agenda.schedule(event, agenda._now + delay)
+            pending += 1
+    assert len(agendas[0]) == len(agendas[1])
+    return histories
+
+
+@needs_c
+@needs_hypothesis
+@settings(max_examples=80, deadline=None)
+@given(ops=_ops_strategy)
+def test_agenda_pop_order_parity(ops):
+    """Identical schedule/pop/flush sequences → identical pop order.
+
+    Compares the full ``(when, sequence, event)`` triples, so both the
+    firing order *and* the sequence-number streams must match — the
+    property the bit-identical guarantee rests on.
+    """
+    py_history, c_history = _replay(ops)
+    assert py_history == c_history
+
+
+# -- PS-pool parity -----------------------------------------------------------
+
+
+def _drive_pool(lane):
+    """A weighted PS workload on one lane; returns the completion log."""
+    sim = Simulator(kernel_lane=lane)
+    pool = make_ps_pool(sim, cores=2, speed=1.0)
+    log = []
+    demands = (0.5, 0.125, 2.0, 0.25, 1.0, 0.75, 0.0625, 3.0)
+    weights = (1.0, 4.0, 1.0, 2.0, 1.0, 1.0, 8.0, 1.0)
+
+    def submit(index):
+        event = pool.execute(demands[index], weight=weights[index],
+                             priority=index % 2)
+        event.add_callback(lambda _e, i=index: log.append((i, sim.now)))
+
+    sim.timeout(0.0).add_callback(lambda _e: [submit(i) for i in range(4)])
+    sim.timeout(0.375).add_callback(lambda _e: [submit(i) for i in range(4, 8)])
+    sim.run()
+    return pool, log
+
+
+@needs_c
+def test_ps_pool_completion_parity():
+    """Weighted water-fill completions match exactly across lanes."""
+    py_pool, py_log = _drive_pool("py")
+    c_pool, c_log = _drive_pool("c")
+    assert isinstance(c_pool, CProcessorSharingPool)
+    assert py_log == c_log  # same order, bit-identical times
+    assert py_pool.work_completed == c_pool.work_completed
+    assert py_pool.active_jobs == c_pool.active_jobs == 0
+
+
+def test_py_lane_uses_python_pool():
+    sim = Simulator(kernel_lane="py")
+    pool = make_ps_pool(sim, cores=1)
+    assert type(pool) is ProcessorSharingPool
+
+
+# -- end-to-end result parity -------------------------------------------------
+
+
+def _outcome_json(lane, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", lane)
+    spec = scenario_for(get_setup(1), mpl=4, transactions=150, seed=7)
+    outcome = execute_scenario(spec)
+    return json.dumps(outcome.to_json_dict(), sort_keys=True)
+
+
+@needs_c
+def test_scenario_outcome_byte_identical(monkeypatch):
+    """A full scenario's canonical JSON is byte-equal across lanes.
+
+    This is the tentpole guarantee: the lane is an implementation
+    detail, invisible to fingerprints, caches, and golden corpora.
+    """
+    assert _outcome_json("py", monkeypatch) == _outcome_json("c", monkeypatch)
+
+
+@needs_c
+def test_step_parity():
+    """One-at-a-time stepping agrees event for event across lanes."""
+
+    def trajectory(lane):
+        sim = Simulator(kernel_lane=lane)
+        for delay in (0.5, 0.5, 1.25, 0.0, 3.0):
+            sim.timeout(delay)
+        times = []
+        while sim.peek() != float("inf"):
+            sim.step()
+            times.append(sim.now)
+        return times
+
+    assert trajectory("py") == trajectory("c")

@@ -356,6 +356,23 @@ class TestFigureGrids:
     def test_smoke_grid_shrinks_when_fast(self):
         assert len(figures.smoke_grid(fast=True)) < len(figures.smoke_grid(fast=False))
 
+    def test_replica_fanout_grid_shape(self):
+        """One primary-only baseline, then every fan-out per replica count."""
+        grid = figures.replica_fanout_grid(fast=True)
+        cells = [
+            (s.topology.replicas_per_shard, s.topology.read_fanout) for s in grid
+        ]
+        assert cells == [
+            (0, "primary"),
+            (1, "primary"), (1, "round_robin"), (1, "least_in_flight"),
+            (2, "primary"), (2, "round_robin"), (2, "least_in_flight"),
+        ]
+        assert {s.topology.shards for s in grid} == {figures.RF_SHARDS}
+        assert {s.arrival.rate for s in grid} == {
+            figures.RF_RATE_PER_SHARD * figures.RF_SHARDS
+        }
+        assert "rf" in figures.GRID_DEFS
+
     def test_partly_open_grid_holds_offered_load(self):
         grid = figures.partly_open_grid(fast=True)
         assert all(spec.arrival is not None for spec in grid)

@@ -1,9 +1,14 @@
 """Tests for the workload generators and the Table 1/2 catalog."""
 
+import hashlib
+import json
+import os
 import random
 
 import pytest
 
+from repro.core.arrivals import TraceArrivals
+from repro.core.system import canonical_jsonable
 from repro.dbms.config import IsolationLevel
 from repro.metrics import stats
 from repro.sim.distributions import Deterministic, Exponential
@@ -21,6 +26,8 @@ from repro.workloads.tpcc import tpcc_workload
 from repro.workloads.tpcw import tpcw_workload
 from repro.workloads.traces import (
     auction_site_trace,
+    get_trace,
+    load_trace_file,
     online_retailer_trace,
     trace_workload,
 )
@@ -193,6 +200,89 @@ class TestTraces:
         a = online_retailer_trace(transactions=100, seed=1)
         b = online_retailer_trace(transactions=100, seed=1)
         assert a.demands == b.demands
+
+
+FIXTURE_CSV = os.path.join(os.path.dirname(__file__), "data", "trace_fixture.csv")
+FIXTURE_JSONL = os.path.join(os.path.dirname(__file__), "data", "trace_fixture.jsonl")
+
+
+class TestFileTraces:
+    def test_csv_fixture_loads(self):
+        trace = load_trace_file(FIXTURE_CSV)
+        assert trace.name == "trace_fixture.csv"
+        assert len(trace.records) == 12
+        assert trace.records[0].arrival_time == 0.0
+        assert trace.records[-1].service_demand == 0.031
+        # the duplicate timestamp (two arrivals at 0.125) survives
+        assert [r.arrival_time for r in trace.records].count(0.125) == 2
+
+    def test_digest_is_file_sha256(self):
+        with open(FIXTURE_CSV, "rb") as fh:
+            expected = hashlib.sha256(fh.read()).hexdigest()
+        assert load_trace_file(FIXTURE_CSV).digest == expected
+
+    def test_jsonl_parses_same_records_with_different_digest(self):
+        csv_trace = load_trace_file(FIXTURE_CSV)
+        jsonl_trace = load_trace_file(FIXTURE_JSONL)
+        assert jsonl_trace.records == csv_trace.records
+        # identity is the file bytes, not the parsed floats: a format
+        # change deliberately invalidates cached results
+        assert jsonl_trace.digest != csv_trace.digest
+
+    def test_get_trace_routes_file_prefix(self):
+        trace = get_trace(f"file:{FIXTURE_CSV}")
+        assert trace.records == load_trace_file(FIXTURE_CSV).records
+        # memoized: the file is read once per process
+        assert get_trace(f"file:{FIXTURE_CSV}") is trace
+
+    def test_file_traces_take_no_generation_params(self):
+        with pytest.raises(ValueError, match="no generation parameters"):
+            get_trace(f"file:{FIXTURE_CSV}", transactions=10)
+
+    def test_trace_arrivals_digest_is_file_sha256(self):
+        with open(FIXTURE_CSV, "rb") as fh:
+            expected = hashlib.sha256(fh.read()).hexdigest()
+        spec = TraceArrivals(trace_name=f"file:{FIXTURE_CSV}")
+        assert expected in json.dumps(canonical_jsonable(spec))
+
+    def test_rejects_decreasing_timestamps(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.5,0.01\n0.25,0.01\n")
+        with pytest.raises(ValueError, match="non-decreasing"):
+            load_trace_file(str(path))
+
+    def test_rejects_negative_demand(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.0,-0.01\n")
+        with pytest.raises(ValueError, match="negative service demand"):
+            load_trace_file(str(path))
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# only a comment\n")
+        with pytest.raises(ValueError, match="no records"):
+            load_trace_file(str(path))
+
+    def test_rejects_non_numeric_data_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,demand\n0.0,0.01\nnope,0.02\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            load_trace_file(str(path))
+
+    def test_jsonl_pair_and_object_rows_mix(self, tmp_path):
+        path = tmp_path / "mix.jsonl"
+        path.write_text('{"timestamp": 0.0, "demand": 0.01}\n[0.5, 0.02]\n')
+        trace = load_trace_file(str(path))
+        assert [r.service_demand for r in trace.records] == [0.01, 0.02]
+
+    def test_jsonl_rejects_bad_shapes(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"timestamp": 0.0}\n')
+        with pytest.raises(ValueError, match="keys"):
+            load_trace_file(str(path))
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="pair"):
+            load_trace_file(str(path))
 
 
 class TestSetupCatalog:
