@@ -5,6 +5,7 @@
 #                    and gates the cluster/routing modules at COV_MIN%
 #   make lint        ruff (falls back to a syntax check if ruff is absent)
 #   make bench       parallel-runner benchmark -> BENCH_smoke.json
+#   make fuzz        seeded scenario fuzz campaign + corpus replay
 #   make reproduce   every figure and table, parallel, cached
 #
 # JOBS and CACHE_DIR are overridable: `make reproduce JOBS=16`.
@@ -21,9 +22,12 @@ COV_MIN     ?= 90
 COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station --cov=repro.core.scenario --cov=repro.core.faults
 # figure grids the scenario round-trip check walks
 SCENARIO_GRIDS ?= 2 3 4 5 smoke sh po ft rf
+# fuzz campaign knobs (what CI's smoke job runs; ~30s total)
+FUZZ_SEED       ?= 0
+FUZZ_ITERATIONS ?= 50
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-c lint bench bench-c cluster-bench kernel-bench kernel-bench-c ckernel profile reproduce smoke scenarios clean
+.PHONY: test test-c lint bench bench-c cluster-bench kernel-bench kernel-bench-c ckernel profile reproduce smoke scenarios fuzz clean
 
 test:
 	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
@@ -116,6 +120,16 @@ scenarios:
 		echo "grid $$g: scenario round-trip fingerprints stable"; \
 	done
 	@rm -f .scenario-rt-a.json .scenario-rt-b.json
+
+# Seeded random walk over ScenarioSpec space under the oracle library
+# (conservation, bit-identical replay, --jobs invariance, codec
+# round-trip, MPL sanity), then a replay of the checked-in minimized
+# reproducer corpus.  Failures write shrunk reproducers into
+# tests/data/fuzz_corpus/ — CI uploads them as an artifact.
+fuzz:
+	$(PYTHON) -m repro.experiments fuzz --seed $(FUZZ_SEED) \
+		--iterations $(FUZZ_ITERATIONS)
+	$(PYTHON) -m repro.experiments fuzz --replay
 
 smoke:
 	$(PYTHON) -m repro.experiments 4 --jobs $(JOBS) --cache-dir $(CACHE_DIR)

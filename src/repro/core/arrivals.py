@@ -306,6 +306,14 @@ class TraceReplay(ArrivalProcess):
             raise ValueError("trace replay needs at least one arrival time")
         if any(b < a for a, b in zip(arrival_times, arrival_times[1:])):
             raise ValueError("trace arrival times must be non-decreasing")
+        if loop and arrival_times[-1] <= 0:
+            # the wrap offset is the trace span; a zero span replays the
+            # whole stream at the same instant forever (livelock)
+            raise ValueError(
+                "cannot loop a zero-span trace (last arrival offset "
+                f"{arrival_times[-1]!r}): looping would replay the stream "
+                "at the same instant forever"
+            )
         super().__init__(sim, frontend, workload, rng, priority_assigner)
         self.arrival_times = list(arrival_times)
         self.loop = loop
@@ -610,7 +618,16 @@ class TraceArrivals(ArrivalSpec):
             raise ValueError(
                 f"transactions must be >= 1, got {self.transactions!r}"
             )
-        object.__setattr__(self, "digest", self._trace().digest)
+        trace = self._trace()
+        if self.loop and trace.records[-1].arrival_time <= 0:
+            # reject here (spec validation) rather than livelocking in
+            # TraceReplay at run time; time_scale > 0 preserves the sign
+            raise ValueError(
+                f"cannot loop trace {self.trace_name!r}: its span is zero "
+                "(single record or all-equal timestamps), so looping would "
+                "replay the stream at the same instant forever"
+            )
+        object.__setattr__(self, "digest", trace.digest)
 
     def _trace(self):
         from repro.workloads.traces import get_trace

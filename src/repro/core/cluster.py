@@ -50,6 +50,7 @@ bit-identical to the plain engine.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.arrivals import ArrivalProcess, ArrivalSpec
@@ -102,6 +103,10 @@ def split_mpl(
         weights = [1.0] * shards
     if len(weights) != shards:
         raise ValueError(f"need {shards} weights, got {len(weights)}")
+    # NaN slips past a plain `w <= 0` (every comparison is False) and
+    # inf poisons the proportional shares, so finiteness is its own check.
+    if any(not math.isfinite(w) for w in weights):
+        raise ValueError(f"weights must be finite, got {tuple(weights)!r}")
     if any(w <= 0 for w in weights):
         raise ValueError(f"weights must be positive, got {tuple(weights)!r}")
     scale = total / sum(weights)
@@ -175,6 +180,10 @@ class ClusterConfig:
                 raise ValueError(
                     f"need {len(self.shards)} routing weights, "
                     f"got {len(self.routing_weights)}"
+                )
+            if any(not math.isfinite(w) for w in self.routing_weights):
+                raise ValueError(
+                    f"routing weights must be finite, got {self.routing_weights!r}"
                 )
             if any(w <= 0 for w in self.routing_weights):
                 raise ValueError(

@@ -571,6 +571,19 @@ class ElasticCapacityController:
                 f"global MPL {global_mpl} cannot cover "
                 f"{len(system.shards)} shards (need >= 1 each)"
             )
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s!r}")
+        if not 0.0 <= low_watermark < high_watermark <= 1.0:
+            # inverted watermarks would park on one tick and re-activate
+            # on the next, forever
+            raise ValueError(
+                "watermarks must satisfy 0 <= low < high <= 1, got "
+                f"low={low_watermark!r} high={high_watermark!r}"
+            )
+        if min_shards < 1:
+            raise ValueError(f"min_shards must be >= 1, got {min_shards!r}")
+        if max_ticks < 1:
+            raise ValueError(f"max_ticks must be >= 1, got {max_ticks!r}")
         self.system = system
         self.global_mpl = global_mpl
         self.interval_s = interval_s

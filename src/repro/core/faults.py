@@ -24,6 +24,7 @@ through any kill/restore sequence.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.system import canonical_jsonable, content_digest
@@ -42,6 +43,10 @@ class FaultEvent:
     def __post_init__(self):
         if not isinstance(self.at, (int, float)) or isinstance(self.at, bool):
             raise ValueError(f"fault time must be a number, got {self.at!r}")
+        # `nan < 0` is False, so a plain lower-bound check accepts NaN
+        # and arms a timeout the sim clock can never reach.
+        if not math.isfinite(self.at):
+            raise ValueError(f"fault time must be finite, got {self.at!r}")
         if self.at < 0:
             raise ValueError(f"fault time must be >= 0, got {self.at!r}")
         if not isinstance(self.shard, int) or isinstance(self.shard, bool):

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.arrivals import (
@@ -227,6 +228,10 @@ class TopologySpec:
                 raise ValueError(
                     f"need {self.shards} routing weights, "
                     f"got {len(self.routing_weights)}"
+                )
+            if any(not math.isfinite(w) for w in self.routing_weights):
+                raise ValueError(
+                    f"routing weights must be finite, got {self.routing_weights!r}"
                 )
             if any(w <= 0 for w in self.routing_weights):
                 raise ValueError(
@@ -1166,15 +1171,14 @@ def _timeline_snapshot(
     return rows
 
 
-def execute_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
-    """Run one scenario end to end: build, inject, control, measure.
+def run_scenario(spec: ScenarioSpec) -> Tuple[MeasuredSystem, ScenarioOutcome]:
+    """Run one scenario and return the live system alongside the outcome.
 
-    With static control this is byte-for-byte the legacy execution
-    path (build the system, run the measurement window); with feedback
-    or SLO control the system first runs the spec-described controller,
-    then measures a fresh post-control window.  A fault timeline is
-    armed on the simulator clock before anything runs, so its events
-    fire at their absolute simulated times.
+    :func:`execute_scenario` is the plain-outcome face; this variant
+    additionally hands back the :class:`MeasuredSystem` so callers
+    (the scenario fuzzer's oracles, invariant tests) can inspect
+    router counters, per-shard schedulers, and collector state after
+    the measurement window.
     """
     measurement = spec.measurement
     system = build_system(spec.build_config())
@@ -1207,7 +1211,7 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         timeline = _timeline_snapshot(
             system.collector.records[start:], measurement.timeline_bucket_s
         )
-    return ScenarioOutcome(
+    outcome = ScenarioOutcome(
         spec=spec,
         fingerprint=spec.fingerprint(),
         result=result,
@@ -1216,6 +1220,20 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         timeline=timeline,
         faults=injector.applied_jsonable() if injector is not None else None,
     )
+    return system, outcome
+
+
+def execute_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Run one scenario end to end: build, inject, control, measure.
+
+    With static control this is byte-for-byte the legacy execution
+    path (build the system, run the measurement window); with feedback
+    or SLO control the system first runs the spec-described controller,
+    then measures a fresh post-control window.  A fault timeline is
+    armed on the simulator clock before anything runs, so its events
+    fire at their absolute simulated times.
+    """
+    return run_scenario(spec)[1]
 
 
 # -- demo scenarios ------------------------------------------------------------

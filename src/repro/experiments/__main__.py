@@ -447,12 +447,118 @@ def scenario_main(argv: List[str]) -> int:
     return 0
 
 
+def fuzz_main(argv: List[str]) -> int:
+    """``fuzz``: random-walk ScenarioSpec space under the oracle library.
+
+    Exit status: 0 when every sampled scenario (or replayed corpus
+    entry) passes every oracle, 1 on failures (minimized reproducers
+    are written to ``--corpus-dir`` for triage / check-in), 2 on usage
+    errors.
+    """
+    from repro.experiments import fuzz as fuzz_module
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments fuzz",
+        description="Fuzz the Scenario API: a seeded spec-space random "
+        "walk checked against conservation / replay / codec / MPL "
+        "oracles, with automatic shrinking of failures.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="walk seed")
+    parser.add_argument(
+        "--iterations", type=int, default=50, metavar="N",
+        help="scenarios to sample (default 50)",
+    )
+    parser.add_argument(
+        "--check-jobs-every", type=int, default=10, metavar="N",
+        help="run the ParallelRunner --jobs 2 invariance oracle on every "
+        "Nth scenario (0 disables; default 10 — it re-runs the scenario "
+        "through a worker pool, the most expensive oracle)",
+    )
+    parser.add_argument(
+        "--corpus-dir", default="tests/data/fuzz_corpus", metavar="DIR",
+        help="where minimized reproducers are written on failure, and "
+        "what --replay replays (default tests/data/fuzz_corpus)",
+    )
+    parser.add_argument(
+        "--replay", action="store_true",
+        help="replay the reproducer corpus instead of fuzzing",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep failing scenarios unminimized (faster triage loop)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the JSON campaign report here",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache shared with the jobs-invariance oracle's runner",
+    )
+    parser.add_argument(
+        "--kernel-lane", default=None, choices=("py", "c", "auto"),
+        help="simulation kernel lane (both lanes must satisfy the oracles)",
+    )
+    args = parser.parse_args(argv)
+
+    exit_code = _apply_kernel_lane(args.kernel_lane)
+    if exit_code is not None:
+        return exit_code
+    if args.iterations < 1:
+        print(f"error: --iterations must be >= 1, got {args.iterations}",
+              file=sys.stderr)
+        return 2
+    if args.check_jobs_every < 0:
+        print(f"error: --check-jobs-every must be >= 0, "
+              f"got {args.check_jobs_every}", file=sys.stderr)
+        return 2
+
+    if args.replay:
+        failures = fuzz_module.replay_corpus(
+            args.corpus_dir, check_jobs=args.check_jobs_every > 0, log=print
+        )
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        print(f"[fuzz] corpus replay: {len(failures)} failure(s)")
+        return 1 if failures else 0
+
+    start = time.time()
+    report = fuzz_module.run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        check_jobs_every=args.check_jobs_every,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        cache_dir=args.cache_dir,
+        log=print,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(
+        f"[fuzz] seed {report.seed}: {report.iterations} scenarios, "
+        f"{len(report.failures)} failure(s), {report.jobs_checked} "
+        f"jobs-invariance checks, {time.time() - start:.1f}s"
+    )
+    for failure in report.failures:
+        where = failure.reproducer_path or "(no reproducer written)"
+        print(
+            f"error: iteration {failure.iteration}: {failure.oracle}: "
+            f"{failure.error} -> {where}",
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 1
+
+
 def main(argv: List[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
     if argv and argv[0] == "scenario":
         return scenario_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -463,8 +569,9 @@ def main(argv: List[str] | None = None) -> int:
         nargs="*",
         metavar="TARGET",
         help="figure/table ids to regenerate, or 'all' (same as --all); "
-        "'bench' starts the runner benchmark subcommand and 'scenario' "
-        "the Scenario API subcommand (show / fingerprint / run)",
+        "'bench' starts the runner benchmark subcommand, 'scenario' "
+        "the Scenario API subcommand (show / fingerprint / run), and "
+        "'fuzz' the scenario fuzzer",
     )
     parser.add_argument(
         "--figure",
@@ -523,7 +630,7 @@ def main(argv: List[str] | None = None) -> int:
                 + ", ".join(sorted(_FIGURES))
                 + "; tables: "
                 + ", ".join(sorted(_TABLES))
-                + "; or 'all' / 'bench' / 'scenario'",
+                + "; or 'all' / 'bench' / 'scenario' / 'fuzz'",
                 file=sys.stderr,
             )
             return 2

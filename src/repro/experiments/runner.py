@@ -25,8 +25,23 @@ from repro.core.scenario import (
 from repro.core.system import RunResult, SimulatedSystem, SystemConfig
 from repro.core.tuner import MplTuner, TuningResult
 from repro.dbms.config import InternalPolicy
-from repro.experiments.parallel import RunSpec, run_grid
+from repro.experiments.parallel import ParallelRunner, RunSpec, run_grid
 from repro.workloads.setups import Setup, get_setup
+
+
+def scenario_results(
+    specs: Sequence[ScenarioSpec],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> List[RunResult]:
+    """Run scenario specs through a dedicated :class:`ParallelRunner`.
+
+    The scenario fuzzer's ``--jobs N`` invariance oracle goes through
+    here: a fresh runner (not the process-global one) so the worker
+    pool size is exactly what the oracle asked for, with the same
+    content-addressed result cache any other grid shares.
+    """
+    return ParallelRunner(jobs=jobs, cache_dir=cache_dir).run(list(specs))
 
 
 def setup_config(

@@ -212,6 +212,11 @@ def load_trace_file(path: str) -> Trace:
         records = _parse_trace_csv(text, path)
     if not records:
         raise ValueError(f"{path}: trace file contains no records")
+    if records[0].arrival_time < 0:
+        raise ValueError(
+            f"{path}: arrival timestamps must be >= 0 "
+            f"(record 1: {records[0].arrival_time!r})"
+        )
     for i, (a, b) in enumerate(zip(records, records[1:]), start=1):
         if b.arrival_time < a.arrival_time:
             raise ValueError(
@@ -226,6 +231,31 @@ def load_trace_file(path: str) -> Trace:
 
 
 @functools.lru_cache(maxsize=32)
+def _file_trace(path: str, mtime_ns: int, size: int) -> Trace:
+    """File-trace memo keyed by (path, mtime, size), not path alone.
+
+    Keying by name only returned the *stale* trace (old records, old
+    digest) when the file's bytes changed within one process — e.g. a
+    driver regenerating a trace between runs.  The stat fields make
+    the cache key track the content.
+    """
+    del mtime_ns, size  # cache-key components only
+    return load_trace_file(path)
+
+
+@functools.lru_cache(maxsize=32)
+def _generated_trace(
+    name: str, transactions: Optional[int], seed: Optional[int]
+) -> Trace:
+    factory = TRACE_FACTORIES[name]
+    kwargs = {}
+    if transactions is not None:
+        kwargs["transactions"] = transactions
+    if seed is not None:
+        kwargs["seed"] = seed
+    return factory(**kwargs)
+
+
 def get_trace(
     name: str,
     transactions: Optional[int] = None,
@@ -238,8 +268,9 @@ def get_trace(
     several times over — at spec construction (the content digest), at
     workload resolution, at arrival build, and on every fingerprint
     call.  Names of the form ``file:PATH`` load ``PATH`` via
-    :func:`load_trace_file` (the file is read once per process; its
-    sha256 becomes the trace digest), and take no generation
+    :func:`load_trace_file` (cached by ``(path, mtime, size)`` so an
+    in-process rewrite of the file is picked up; the sha256 of the
+    bytes becomes the trace digest), and take no generation
     parameters.
     """
     if name.startswith(FILE_TRACE_PREFIX):
@@ -248,7 +279,13 @@ def get_trace(
                 "file-backed traces take no generation parameters "
                 f"(got transactions={transactions!r}, seed={seed!r} for {name!r})"
             )
-        return load_trace_file(name[len(FILE_TRACE_PREFIX):])
+        path = name[len(FILE_TRACE_PREFIX):]
+        try:
+            stat = os.stat(path)
+        except OSError:
+            # let load_trace_file raise its usual, clearer error
+            return load_trace_file(path)
+        return _file_trace(path, stat.st_mtime_ns, stat.st_size)
     factory = TRACE_FACTORIES.get(name)
     if factory is None:
         raise ValueError(
@@ -256,12 +293,7 @@ def get_trace(
             + ", ".join(sorted(TRACE_FACTORIES))
             + f", or '{FILE_TRACE_PREFIX}PATH' for a CSV/JSONL file"
         )
-    kwargs = {}
-    if transactions is not None:
-        kwargs["transactions"] = transactions
-    if seed is not None:
-        kwargs["seed"] = seed
-    return factory(**kwargs)
+    return _generated_trace(name, transactions, seed)
 
 
 def trace_workload(trace: Trace, db_mb: int = 512) -> WorkloadSpec:

@@ -387,6 +387,41 @@ class TestOpenPoissonSource:
         assert collector.arrivals == 25
 
 
+class TestTraceReplayZeroSpan:
+    """Looping a zero-span stream must be rejected, not livelock.
+
+    The wrap offset is the trace's span; with a single record (or all
+    timestamps equal at zero) the span is zero and the pre-fix replay
+    loop re-submitted the whole stream at the same instant forever.
+    These construct the replay directly — the generated-trace twin of
+    the CSV-level check in ``tests/test_scenario.py``.
+    """
+
+    def _replay(self, times, loop):
+        from repro.core.arrivals import TraceReplay
+
+        return TraceReplay(
+            sim=None, frontend=None, workload=None,
+            arrival_times=times, rng=random.Random(0), loop=loop,
+        )
+
+    def test_rejects_single_record_loop(self):
+        with pytest.raises(ValueError, match="zero-span"):
+            self._replay([0.0], loop=True)
+
+    def test_rejects_all_zero_timestamps_loop(self):
+        with pytest.raises(ValueError, match="zero-span"):
+            self._replay([0.0, 0.0, 0.0], loop=True)
+
+    def test_accepts_zero_span_without_loop(self):
+        replay = self._replay([0.0, 0.0], loop=False)
+        assert replay.arrival_times == [0.0, 0.0]
+
+    def test_accepts_positive_span_loop(self):
+        replay = self._replay([0.0, 0.5, 1.0], loop=True)
+        assert replay.loop
+
+
 class TestGeometryOfGeometric:
     """The closed-form geometric sampler must match its distribution."""
 

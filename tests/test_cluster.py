@@ -14,6 +14,8 @@ The headline guarantees:
 import dataclasses
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.cluster import (
     ClusterConfig,
@@ -76,6 +78,33 @@ class TestSplitMpl:
             split_mpl(8, 2, (1.0,))  # wrong weight count
         with pytest.raises(ValueError):
             split_mpl(8, 2, (1.0, -1.0))
+
+    def test_rejects_non_finite_weights(self):
+        # NaN slips past `w <= 0` (every comparison is False) and inf
+        # poisons the shares; both used to blow up inside the rounding
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ValueError, match="finite|positive"):
+                split_mpl(8, 2, (bad, 1.0))
+
+    @given(
+        shards=st.integers(min_value=1, max_value=8),
+        extra=st.integers(min_value=0, max_value=64),
+        weights=st.lists(
+            st.floats(min_value=1e-3, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=8, max_size=8,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_sum_conserved_for_all_valid_weight_vectors(
+        self, shards, extra, weights
+    ):
+        # the skewed-weight corner: max(1, int(s)) floors can over-
+        # allocate, and the take-back pass must land exactly on total
+        total = shards + extra
+        split = split_mpl(total, shards, weights[:shards])
+        assert sum(split) == total
+        assert min(split) >= 1
 
 
 class TestClusterConfig:

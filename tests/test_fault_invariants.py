@@ -184,6 +184,35 @@ class TestElasticInvariants:
         with pytest.raises(ValueError, match="cannot cover"):
             ElasticCapacityController(system, global_mpl=3)
 
+    def test_rejects_inverted_watermarks_at_construction(self):
+        # inverted watermarks would park on one tick and re-activate on
+        # the next, forever; pre-fix the constructor accepted them
+        system = _cluster(2, seed=1, mpl=8)
+        with pytest.raises(ValueError, match="watermarks"):
+            ElasticCapacityController(
+                system, global_mpl=8,
+                low_watermark=0.9, high_watermark=0.2,
+            )
+        with pytest.raises(ValueError, match="watermarks"):
+            ElasticCapacityController(
+                system, global_mpl=8,
+                low_watermark=0.5, high_watermark=0.5,
+            )
+
+    def test_rejects_bad_interval_min_shards_and_ticks(self):
+        system = _cluster(2, seed=1, mpl=8)
+        with pytest.raises(ValueError, match="interval_s"):
+            ElasticCapacityController(system, global_mpl=8, interval_s=0.0)
+        with pytest.raises(ValueError, match="min_shards"):
+            ElasticCapacityController(system, global_mpl=8, min_shards=0)
+        with pytest.raises(ValueError, match="max_ticks"):
+            ElasticCapacityController(system, global_mpl=8, max_ticks=0)
+
+    def test_spec_path_rejects_inverted_watermarks_too(self):
+        # both faces of the rule: the ElasticMpl spec and the controller
+        with pytest.raises(ValueError, match="watermark"):
+            ElasticMpl(mpl=8, low_watermark=0.9, high_watermark=0.2)
+
 
 class TestScenarioDeterminism:
     def _spec(self):

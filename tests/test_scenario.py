@@ -350,6 +350,22 @@ class TestValidation:
         with pytest.raises(ValueError):
             TraceArrivals("no-such-trace")
 
+    def test_trace_arrivals_reject_zero_span_loop(self, tmp_path):
+        # a single-record (or all-equal-timestamp) trace has zero span:
+        # loop=True would wrap with zero period and livelock the source.
+        # Pre-fix this was only discovered by hanging the simulation.
+        single = tmp_path / "single.csv"
+        single.write_text("0.0,0.01\n")
+        with pytest.raises(ValueError, match="span is zero"):
+            TraceArrivals(f"file:{single}", loop=True)
+        equal = tmp_path / "equal.csv"
+        equal.write_text("0.0,0.01\n0.0,0.02\n0.0,0.03\n")
+        with pytest.raises(ValueError, match="span is zero"):
+            TraceArrivals(f"file:{equal}", loop=True)
+        # without looping the same traces are fine (finite replay)
+        assert TraceArrivals(f"file:{single}", loop=False).digest
+        assert TraceArrivals(f"file:{equal}", loop=False).digest
+
 
 class TestJsonCodec:
     ZOO = [

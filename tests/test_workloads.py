@@ -239,6 +239,25 @@ class TestFileTraces:
         with pytest.raises(ValueError, match="no generation parameters"):
             get_trace(f"file:{FIXTURE_CSV}", transactions=10)
 
+    def test_rewritten_file_is_not_served_stale(self, tmp_path):
+        # pre-fix the memo was keyed by name alone, so a file whose
+        # bytes changed within one process kept returning the old
+        # records under the old digest
+        path = tmp_path / "rewrite.csv"
+        path.write_text("0.0,0.01\n1.0,0.01\n")
+        first = get_trace(f"file:{path}")
+        assert len(first.records) == 2
+        path.write_text("0.0,0.01\n1.0,0.01\n2.0,0.02\n")
+        second = get_trace(f"file:{path}")
+        assert len(second.records) == 3
+        assert second.digest != first.digest
+
+    def test_rejects_negative_timestamps(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("-5.0,0.01\n1.0,0.01\n")
+        with pytest.raises(ValueError, match=">= 0"):
+            load_trace_file(str(path))
+
     def test_trace_arrivals_digest_is_file_sha256(self):
         with open(FIXTURE_CSV, "rb") as fh:
             expected = hashlib.sha256(fh.read()).hexdigest()
