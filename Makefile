@@ -19,12 +19,12 @@ BENCH_CACHE ?= .repro-bench-cache
 # coverage floor for the modules the cluster + scenario PRs introduced
 # (what CI enforces); the rest of the tree is reported, not gated
 COV_MIN     ?= 90
-COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station --cov=repro.core.scenario --cov=repro.core.faults
+COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station --cov=repro.core.scenario --cov=repro.core.faults --cov=repro.core.resilience
 # figure grids the scenario round-trip check walks
-SCENARIO_GRIDS ?= 2 3 4 5 smoke sh po ft rf
-# fuzz campaign knobs (what CI's smoke job runs; ~30s total)
+SCENARIO_GRIDS ?= 2 3 4 5 smoke sh po ft rf rs
+# fuzz campaign knobs (what CI's smoke job runs; ~45s total)
 FUZZ_SEED       ?= 0
-FUZZ_ITERATIONS ?= 50
+FUZZ_ITERATIONS ?= 75
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-c lint bench bench-c cluster-bench kernel-bench kernel-bench-c ckernel profile reproduce smoke scenarios fuzz clean

@@ -484,6 +484,16 @@ class ReplicaGroup:
     def completed(self) -> int:
         return sum(member.completed for member in self.members)
 
+    @property
+    def removed(self) -> int:
+        """Admissions pulled back out by the resilience layer.
+
+        Always zero today — the resilience axis requires an
+        unreplicated topology — but the conservation law reads it off
+        every frontend-shaped object uniformly.
+        """
+        return sum(member.removed for member in self.members)
+
     # -- membership ---------------------------------------------------------
 
     @property
@@ -677,6 +687,12 @@ class ClusteredSystem(MeasuredSystem):
         self.collector = MetricsCollector()
         self.shards: List[_Shard] = []
         self._degraded: Dict[int, Optional[int]] = {}
+        #: Compound degrade factor per shard (health reporting); cleared
+        #: by :meth:`restore_shard` alongside the remembered MPL.
+        self._degrade_factors: Dict[int, float] = {}
+        #: The installed resilience runtime (scenario-driven; None keeps
+        #: the legacy behavior).
+        self.resilience = None
         base_streams: Optional[RandomStreams] = None
         for shard_config in config.shards:
             collector = _ShardCollector(self.collector)
@@ -830,6 +846,7 @@ class ClusteredSystem(MeasuredSystem):
         self._check_shard(index)
         shard = self.shards[index]
         original = self._degraded.pop(index, False)
+        self._degrade_factors.pop(index, None)
         if original is not False:
             shard.frontend.set_mpl(original)
         detail = ""
@@ -856,9 +873,37 @@ class ClusteredSystem(MeasuredSystem):
             return "unlimited MPL, degrade is a no-op"
         if index not in self._degraded:
             self._degraded[index] = current
+        self._degrade_factors[index] = (
+            self._degrade_factors.get(index, 1.0) * factor
+        )
         new_mpl = max(1, int(current * factor))
         shard.frontend.set_mpl(new_mpl)
         return f"mpl {current} -> {new_mpl}"
+
+    def shard_health(self) -> List[Dict[str, Any]]:
+        """Per-shard health snapshot for the outcome JSON.
+
+        Covers liveness, rotation, the compound degrade factor (None =
+        never degraded), the routing counters, and queue/service state;
+        the scenario layer merges breaker state in when a resilience
+        runtime is installed.  Today ``DegradeShard`` leaves a trace.
+        """
+        health: List[Dict[str, Any]] = []
+        for index, shard in enumerate(self.shards):
+            health.append({
+                "shard": index,
+                "alive": self.router.alive[index],
+                "in_rotation": self.router.in_rotation[index],
+                "mpl": shard.frontend.mpl,
+                "degrade_factor": self._degrade_factors.get(index),
+                "routed": self.router.routed_by_shard[index],
+                "rerouted_from": self.router.rerouted_from[index],
+                "rerouted_to": self.router.rerouted_to[index],
+                "in_service": shard.frontend.in_service,
+                "queue_length": shard.frontend.queue_length,
+                "completed": shard.frontend.completed,
+            })
+        return health
 
     # -- per-shard MPL control ----------------------------------------------
 

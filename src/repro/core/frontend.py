@@ -55,6 +55,15 @@ class ExternalScheduler:
         self._in_service = 0
         self.dispatched = 0
         self.completed = 0
+        #: Queued transactions the resilience layer pulled back out
+        #: (deadline expiry in queue, load shedding) — keeps the
+        #: routed == completed + in_service + queued + removed
+        #: conservation law checkable under retries.
+        self.removed = 0
+        #: The installed :class:`~repro.core.resilience.ResilienceRuntime`
+        #: (None outside resilient scenarios — the default path is
+        #: untouched).
+        self._resilience = None
         self._on_complete_cb = self._on_complete  # one bound method, reused
         self._fire = sim._fire_now  # same-instant completion lane
 
@@ -89,6 +98,8 @@ class ExternalScheduler:
             self.collector.on_arrival(tx)
         self.policy.push(tx)
         self._dispatch()
+        if self._resilience is not None:
+            self._resilience.on_submitted(tx, self)
         return done
 
     def adopt(self, tx: Transaction) -> None:
@@ -101,6 +112,8 @@ class ExternalScheduler:
         """
         self.policy.push(tx)
         self._dispatch()
+        if self._resilience is not None:
+            self._resilience.on_submitted(tx, self)
 
     def drain_queue(self) -> list:
         """Remove and return every queued (undispatched) transaction.
@@ -147,7 +160,12 @@ class ExternalScheduler:
         tx: Transaction = event.value
         self._in_service -= 1
         self.completed += 1
-        if self.collector is not None:
+        # deadline-aborted attempts are not completions: the resilience
+        # layer decides their fate, and the collector only ever sees
+        # committed work (so records/throughput stay goodput-clean)
+        if self.collector is not None and (
+            self._resilience is None or tx.status is TxStatus.COMMITTED
+        ):
             self.collector.on_completion(tx)
         done = tx._completion_event
         tx._completion_event = None

@@ -30,6 +30,19 @@ class QueuePolicy:
         """Remove and return the next transaction to dispatch."""
         raise NotImplementedError
 
+    def remove(self, tx: Transaction) -> bool:
+        """Remove one specific queued transaction; False if absent.
+
+        The resilience layer's hook: deadline expiry and load shedding
+        pull a victim out of the middle of the queue.  O(n), but sheds
+        and queued timeouts are rare relative to dispatches.
+        """
+        raise NotImplementedError
+
+    def __iter__(self):
+        """Iterate the queued transactions (shed-victim selection)."""
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -49,8 +62,30 @@ class FifoPolicy(QueuePolicy):
     def pop(self) -> Transaction:
         return self._queue.popleft()
 
+    def remove(self, tx: Transaction) -> bool:
+        try:
+            self._queue.remove(tx)
+        except ValueError:
+            return False
+        return True
+
+    def __iter__(self):
+        return iter(self._queue)
+
     def __len__(self) -> int:
         return len(self._queue)
+
+
+def _heap_remove(heap: List[tuple], tx: Transaction) -> bool:
+    """Remove the entry holding ``tx`` from a (key, seq, tx) heap."""
+    for index, entry in enumerate(heap):
+        if entry[2] is tx:
+            last = heap.pop()
+            if index < len(heap):
+                heap[index] = last
+                heapq.heapify(heap)
+            return True
+    return False
 
 
 class PriorityPolicy(QueuePolicy):
@@ -71,6 +106,12 @@ class PriorityPolicy(QueuePolicy):
 
     def pop(self) -> Transaction:
         return heapq.heappop(self._heap)[2]
+
+    def remove(self, tx: Transaction) -> bool:
+        return _heap_remove(self._heap, tx)
+
+    def __iter__(self):
+        return (entry[2] for entry in self._heap)
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -94,6 +135,12 @@ class SjfPolicy(QueuePolicy):
 
     def pop(self) -> Transaction:
         return heapq.heappop(self._heap)[2]
+
+    def remove(self, tx: Transaction) -> bool:
+        return _heap_remove(self._heap, tx)
+
+    def __iter__(self):
+        return (entry[2] for entry in self._heap)
 
     def __len__(self) -> int:
         return len(self._heap)

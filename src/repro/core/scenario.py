@@ -26,6 +26,10 @@ orthogonal, individually-fingerprinted sub-specs
   optional kill/restore/degrade timeline a
   :class:`~repro.core.faults.FaultInjector` drives on the simulated
   clock (new in v2);
+* :class:`~repro.core.resilience.ResilienceSpec` — *what the front end
+  does about it*: per-class deadlines, retry with exponential backoff
+  and seeded jitter, bounded admission queues with load shedding, and
+  health-aware per-shard circuit breaking (PR 9);
 
 plus a :class:`MeasurementSpec` (transactions, warmup, metric set —
 including the v2 ``timeline`` family that buckets throughput/p95 over
@@ -89,6 +93,13 @@ from repro.core.faults import (
     decode_fault_event,
     decode_fault_spec,
     encode_fault_spec,
+)
+from repro.core.resilience import (
+    ResilienceRuntime,
+    ResilienceSpec,
+    decode_resilience_spec,
+    encode_resilience_spec,
+    resilience_field_errors,
 )
 from repro.core.system import (
     MeasuredSystem,
@@ -602,6 +613,9 @@ class ScenarioSpec:
     tag: str = ""
     #: Optional fault timeline (v2): hashed only when present.
     faults: Optional[FaultSpec] = None
+    #: Optional resilience axis (PR 9: deadlines, retry/backoff,
+    #: shedding, circuit breaking): hashed only when present.
+    resilience: Optional[ResilienceSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.workload, WorkloadRef):
@@ -616,6 +630,12 @@ class ScenarioSpec:
             )
         if self.faults is not None and not isinstance(self.faults, FaultSpec):
             raise ValueError(f"faults must be a FaultSpec, got {self.faults!r}")
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceSpec
+        ):
+            raise ValueError(
+                f"resilience must be a ResilienceSpec, got {self.resilience!r}"
+            )
         if self.arrival is not None and self.arrival_rate is not None:
             raise ValueError(
                 "specify either an arrival spec or the legacy arrival_rate, not both"
@@ -635,10 +655,11 @@ class ScenarioSpec:
                 "initial_mpl (the queueing-model jump-start is single-engine)"
             )
         if isinstance(self.control, PerClassSlo):
-            if self.topology.shards != 1:
+            if self.topology.shards != 1 or self.topology.replicas_per_shard > 0:
                 raise ValueError(
                     "PerClassSlo control runs on a single engine "
-                    f"(got {self.topology.shards} shards)"
+                    f"(got {self.topology.shards} shard(s), "
+                    f"{self.topology.replicas_per_shard} replica(s))"
                 )
             if self.high_priority_fraction <= 0:
                 raise ValueError(
@@ -666,6 +687,26 @@ class ScenarioSpec:
                 raise ValueError(
                     f"fault event targets shard {self.faults.max_shard()} "
                     f"but the topology has {self.topology.shards} shard(s)"
+                )
+        if self.resilience is not None:
+            if self.topology.replicas_per_shard > 0:
+                raise ValueError(
+                    "the resilience axis needs replicas_per_shard == 0 "
+                    "(replica groups own their own admission accounting "
+                    "and completion events)"
+                )
+            if self.resilience.breaker_enabled and self.topology.shards < 2:
+                raise ValueError(
+                    "circuit breaking needs a sharded topology "
+                    "(shards > 1) — there is no alternative shard to "
+                    "steer work toward"
+                )
+            if self.resilience.queue_cap is not None and not self.is_open:
+                raise ValueError(
+                    "load shedding (queue_cap) needs externally driven "
+                    "arrivals — a closed client resubmits the instant a "
+                    "shed releases it, livelocking the simulation at one "
+                    "timestamp"
                 )
 
     # -- derived views -------------------------------------------------------
@@ -766,6 +807,8 @@ class ScenarioSpec:
             extra["timeline_bucket_s"] = self.measurement.timeline_bucket_s
         if self.faults is not None:
             extra["faults"] = canonical_jsonable(self.faults)
+        if self.resilience is not None:
+            extra["resilience"] = canonical_jsonable(self.resilience)
         return self.build_config().fingerprint(**extra)
 
     def component_fingerprints(self) -> Dict[str, str]:
@@ -777,6 +820,7 @@ class ScenarioSpec:
             "control": component_fingerprint(self.control),
             "measurement": component_fingerprint(self.measurement),
             "faults": component_fingerprint(self.faults),
+            "resilience": component_fingerprint(self.resilience),
         }
 
     # -- JSON round-trip -----------------------------------------------------
@@ -796,6 +840,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "tag": self.tag,
             "faults": encode_fault_spec(self.faults),
+            "resilience": encode_resilience_spec(self.resilience),
         }
 
     @classmethod
@@ -830,6 +875,8 @@ class ScenarioSpec:
             data["internal"] = _decode_internal(payload["internal"])
         if "faults" in payload:
             data["faults"] = decode_fault_spec(payload["faults"])
+        if "resilience" in payload:
+            data["resilience"] = decode_resilience_spec(payload["resilience"])
         for name in ("policy", "high_priority_fraction", "arrival_rate", "seed", "tag"):
             if name in payload:
                 data[name] = payload[name]
@@ -899,6 +946,16 @@ class ScenarioSpec:
                             data["faults"] = FaultSpec(events=tuple(decoded))
                         except ValueError as exc:
                             errors.append(("/faults", str(exc)))
+        if payload.get("resilience") is not None:
+            resilience_payload = payload["resilience"]
+            field_errors = resilience_field_errors(resilience_payload)
+            if field_errors:
+                errors.extend(
+                    (f"/resilience{path}", message)
+                    for path, message in field_errors
+                )
+            else:
+                data["resilience"] = ResilienceSpec(**resilience_payload)
         for name in ("policy", "high_priority_fraction", "arrival_rate", "seed", "tag"):
             if name in payload:
                 data[name] = payload[name]
@@ -1113,6 +1170,12 @@ class ScenarioOutcome:
     timeline: Optional[List[Dict[str, float]]] = None
     #: The fault events as they actually fired (faulted runs only).
     faults: Optional[List[Dict[str, Any]]] = None
+    #: Goodput-vs-throughput accounting: dispositions, retries,
+    #: breaker state (resilient runs only).
+    resilience: Optional[Dict[str, Any]] = None
+    #: Per-shard health (clustered runs with faults and/or resilience):
+    #: liveness, degrade factor, routing counters, breaker transitions.
+    shard_health: Optional[List[Dict[str, Any]]] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
         return {
@@ -1124,6 +1187,8 @@ class ScenarioOutcome:
             "percentiles": self.percentiles,
             "timeline": self.timeline,
             "faults": self.faults,
+            "resilience": self.resilience,
+            "shard_health": self.shard_health,
         }
 
 
@@ -1171,6 +1236,56 @@ def _timeline_snapshot(
     return rows
 
 
+def _merge_resilience_timeline(
+    rows: List[Dict[str, float]],
+    events: Sequence[Tuple[float, str, int]],
+    start_time: float,
+    bucket_s: float,
+) -> List[Dict[str, float]]:
+    """Fold the resilience event stream into the timeline buckets.
+
+    Adds the goodput-vs-throughput columns: ``goodput`` (commits per
+    second — with a deadline armed every commit landed inside its
+    budget, so goodput *is* the committed throughput),
+    ``attempt_throughput`` (attempts resolving per second, aborted ones
+    included — the retry storm's wasted work), and per-bucket
+    ``timeouts`` / ``sheds`` / ``retries`` counts.  Buckets where
+    nothing committed but resilience events fired get zero-completion
+    rows, so a goodput collapse is visible instead of truncated.
+    Events before ``start_time`` (the control phase) are excluded,
+    mirroring the record window.
+    """
+    counts: Dict[int, Dict[str, int]] = {}
+    for at, kind, _priority in events:
+        if at < start_time:
+            continue
+        bucket = counts.setdefault(
+            int(at // bucket_s),
+            {"attempt": 0, "timeout": 0, "shed": 0, "retry": 0},
+        )
+        bucket[kind] += 1
+    merged: Dict[int, Dict[str, float]] = {
+        int(round(row["t"] / bucket_s)): dict(row) for row in rows
+    }
+    for index in counts:
+        merged.setdefault(index, {
+            "t": index * bucket_s,
+            "completions": 0.0,
+            "throughput": 0.0,
+            "mean_response_time": 0.0,
+            "p95_response_time": 0.0,
+        })
+    empty = {"attempt": 0, "timeout": 0, "shed": 0, "retry": 0}
+    for index, row in merged.items():
+        bucket = counts.get(index, empty)
+        row["goodput"] = row["throughput"]
+        row["attempt_throughput"] = bucket["attempt"] / bucket_s
+        row["timeouts"] = float(bucket["timeout"])
+        row["sheds"] = float(bucket["shed"])
+        row["retries"] = float(bucket["retry"])
+    return [merged[index] for index in sorted(merged)]
+
+
 def run_scenario(spec: ScenarioSpec) -> Tuple[MeasuredSystem, ScenarioOutcome]:
     """Run one scenario and return the live system alongside the outcome.
 
@@ -1187,12 +1302,20 @@ def run_scenario(spec: ScenarioSpec) -> Tuple[MeasuredSystem, ScenarioOutcome]:
         # validation guarantees a clustered topology here
         injector = FaultInjector(system, spec.faults)
         injector.arm()
+    runtime = None
+    if spec.resilience is not None:
+        # the gate slots between the arrival source and the
+        # router/frontend before anything runs, so the control phase
+        # and the measurement window see the same resilient system
+        runtime = ResilienceRuntime(spec.resilience, seed=spec.seed)
+        runtime.install(system)
     report = spec.control.apply(system, spec)
     # the control phase's completions precede the measurement window;
     # both run paths land the window at exactly `transactions` records
     # past `start`, so one warmup index serves the result and the
     # percentile snapshot alike
     start = len(system.collector.records)
+    window_start_time = system.sim.now
     if report is None:
         result = system.run(
             transactions=measurement.transactions,
@@ -1211,6 +1334,19 @@ def run_scenario(spec: ScenarioSpec) -> Tuple[MeasuredSystem, ScenarioOutcome]:
         timeline = _timeline_snapshot(
             system.collector.records[start:], measurement.timeline_bucket_s
         )
+        if runtime is not None:
+            timeline = _merge_resilience_timeline(
+                timeline, runtime.events, window_start_time,
+                measurement.timeline_bucket_s,
+            )
+    shard_health = None
+    if isinstance(system, ClusteredSystem) and (
+        injector is not None or runtime is not None
+    ):
+        shard_health = system.shard_health()
+        if runtime is not None and runtime.breakers is not None:
+            for entry, breaker in zip(shard_health, runtime.breakers):
+                entry["breaker"] = breaker.jsonable()
     outcome = ScenarioOutcome(
         spec=spec,
         fingerprint=spec.fingerprint(),
@@ -1219,6 +1355,8 @@ def run_scenario(spec: ScenarioSpec) -> Tuple[MeasuredSystem, ScenarioOutcome]:
         percentiles=percentiles,
         timeline=timeline,
         faults=injector.applied_jsonable() if injector is not None else None,
+        resilience=runtime.report_jsonable() if runtime is not None else None,
+        shard_health=shard_health,
     )
     return system, outcome
 

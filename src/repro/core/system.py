@@ -382,6 +382,9 @@ class SimulatedSystem(MeasuredSystem):
         self.config = config
         self.sim = Simulator()
         self.collector = MetricsCollector()
+        #: The installed resilience runtime (scenario-driven; None keeps
+        #: the legacy behavior).
+        self.resilience = None
         self.streams, self.engine, self.frontend = build_engine_stack(
             self.sim, config, self.collector
         )

@@ -36,6 +36,16 @@ from repro.sim.random import RandomStreams
 from repro.sim.station import DelayStation, Station
 
 
+class DeadlineExceeded(Exception):
+    """Interrupt cause: the external deadline expired mid-execution.
+
+    Unlike a deadlock or a POW preemption — which the engine retries
+    internally — a deadline abort is terminal: locks are released, the
+    transaction leaves the engine ABORTED, and the resilience layer
+    above decides whether it re-enters the external queue.
+    """
+
+
 class DatabaseEngine:
     """The DBMS back end the external scheduler dispatches into.
 
@@ -145,6 +155,19 @@ class DatabaseEngine:
         """Transactions currently executing inside the engine."""
         return len(self._active)
 
+    def abort(self, tx: Transaction) -> bool:
+        """Abort a running transaction (external deadline expiry).
+
+        Returns False when the transaction is not executing here —
+        already committed, or its process finished this same instant
+        (the completion callback then resolves it as a commit).
+        """
+        process = self._active.get(tx.tid)
+        if process is None or not process.is_alive:
+            return False
+        process.interrupt(DeadlineExceeded(f"tx {tx.tid} deadline expired"))
+        return True
+
     @property
     def disk_service_mean(self) -> float:
         """Mean physical-read time in seconds (for demand estimates)."""
@@ -185,12 +208,31 @@ class DatabaseEngine:
         while True:
             try:
                 yield from self._attempt(tx)
-            except (DeadlockError, Interrupt):
+            except (DeadlockError, Interrupt) as exc:
+                cause = exc.cause if isinstance(exc, Interrupt) else None
+                if isinstance(cause, DeadlineExceeded):
+                    # terminal: release everything and leave ABORTED —
+                    # the resilience layer owns any retry
+                    self.lockmgr.abort(tx)
+                    tx.status = TxStatus.ABORTED
+                    tx.completion_time = self.sim.now
+                    self._active.pop(tx.tid, None)
+                    return tx
                 self.lockmgr.abort(tx)
                 tx.restarts += 1
                 self.restarts += 1
                 backoff = self._rng.expovariate(1.0 / self.restart_backoff)
-                yield self.sim.timeout(backoff)
+                try:
+                    yield self.sim.timeout(backoff)
+                except Interrupt as late:
+                    # a deadline can also expire during the restart
+                    # backoff sleep, where no locks are held
+                    if isinstance(late.cause, DeadlineExceeded):
+                        tx.status = TxStatus.ABORTED
+                        tx.completion_time = self.sim.now
+                        self._active.pop(tx.tid, None)
+                        return tx
+                    raise
                 continue
             tx.status = TxStatus.COMMITTED
             tx.completion_time = self.sim.now

@@ -63,6 +63,7 @@ _FIGURES: Dict[str, Callable] = {
     "sh": figures.sharded_cluster,
     "ft": figures.fault_tolerance,
     "rf": figures.replica_fanout,
+    "rs": figures.resilience,
 }
 
 _TABLES: Dict[str, Callable[[], str]] = {

@@ -18,8 +18,9 @@ from repro.core.arrivals import (
     PartlyOpenArrivals,
     SinusoidRate,
 )
-from repro.core.faults import FaultSpec, KillShard, RestoreShard
+from repro.core.faults import DegradeShard, FaultSpec, KillShard, RestoreShard
 from repro.core.cluster import READ_FANOUT_POLICIES
+from repro.core.resilience import ResilienceSpec
 from repro.core.scenario import (
     ElasticMpl,
     FeedbackMpl,
@@ -1176,6 +1177,192 @@ def replica_fanout(fast: bool = True) -> List[FigureResult]:
     ]
 
 
+# -- resilience figure: retry storm vs hardened goodput ----------------------
+
+#: Shard count for the resilience cells (breakers need > 1 shard).
+RS_SHARDS = 2
+
+#: Offered load, tx/s — a few percent over the 2-shard capacity at
+#: MPL 8 per shard, so the degrade + kill arc pushes the cluster into
+#: genuine overload instead of just eating headroom.
+RS_RATE = 100.0
+
+#: Per-shard MPL budget (static — the resilience axis is the experiment).
+RS_MPL_PER_SHARD = 8
+
+#: Admission-to-completion budget shared by both resilient cells.
+RS_DEADLINE_S = 0.6
+RS_MAX_ATTEMPTS = 3
+
+#: The fault schedule: shard 1 loses 70% of its capacity, then shard 0
+#: fail-stops while shard 1 is still degraded, then shard 0 revives.
+RS_DEGRADE_AT = 2.0
+RS_KILL_AT = 4.0
+RS_RESTORE_AT = 8.0
+
+#: Timeline resolution (anchored at simulated time zero).
+RS_BUCKET_S = 1.0
+
+#: The three cells.  ``naive`` retries instantly with no backoff, no
+#: queue cap, and no breaker — the classic retry storm; ``hardened``
+#: spends the same retry budget with exponential backoff + jitter,
+#: sheds the newest low-class work at a bounded queue, and routes
+#: around unhealthy shards via circuit breakers.
+RS_VARIANTS: Dict[str, Optional[ResilienceSpec]] = {
+    "baseline": None,
+    "naive": ResilienceSpec(
+        deadline_s=RS_DEADLINE_S,
+        max_attempts=RS_MAX_ATTEMPTS,
+        base_backoff_s=0.0,
+    ),
+    "hardened": ResilienceSpec(
+        deadline_s=RS_DEADLINE_S,
+        max_attempts=RS_MAX_ATTEMPTS,
+        base_backoff_s=0.25,
+        backoff_multiplier=2.0,
+        jitter_fraction=0.5,
+        queue_cap=24,
+        shed_policy="by_class",
+        breaker_enabled=True,
+        breaker_window=10,
+        breaker_timeout_threshold=0.4,
+        breaker_response_time_s=0.45,
+        breaker_open_s=1.0,
+    ),
+}
+
+
+def _rs_spec(
+    variant: str, duration_s: float, seed: int = DEFAULT_SEED
+) -> ScenarioSpec:
+    """One resilience cell: overloaded 2-shard cluster + degrade/kill."""
+    return ScenarioSpec(
+        workload=WorkloadRef(setup_id=1),
+        arrival=OpenArrivals(rate=RS_RATE),
+        topology=TopologySpec(shards=RS_SHARDS, routing="least_in_flight"),
+        control=StaticMpl(mpl=RS_MPL_PER_SHARD * RS_SHARDS),
+        faults=FaultSpec(events=(
+            DegradeShard(at=RS_DEGRADE_AT, shard=1, factor=0.3),
+            KillShard(at=RS_KILL_AT, shard=0),
+            RestoreShard(at=RS_RESTORE_AT, shard=0),
+        )),
+        resilience=RS_VARIANTS[variant],
+        measurement=MeasurementSpec(
+            transactions=int(RS_RATE * duration_s),
+            metrics=("standard", "percentiles", "timeline"),
+            timeline_bucket_s=RS_BUCKET_S,
+        ),
+        seed=seed,
+        tag=f"rs-{variant}",
+    )
+
+
+def resilience_grid(
+    fast: bool = True, mpls: Optional[Sequence[int]] = None
+) -> List[ScenarioSpec]:
+    """The scenario grid behind the resilience figure, as data.
+
+    One cell per resilience variant; ``mpls`` is accepted for
+    grid-builder signature compatibility and ignored (the MPL is held
+    fixed — the resilience axis is the experiment).
+    """
+    duration = 12.0 if fast else 20.0
+    return [_rs_spec(variant, duration) for variant in RS_VARIANTS]
+
+
+def resilience(fast: bool = True) -> List[FigureResult]:
+    """Goodput under a retry storm, naive vs hardened.
+
+    Three runs of one overloaded 2-shard cluster through the same
+    degrade -> kill -> restore arc.  The ``baseline`` cell has no
+    deadlines, so every commit counts; ``naive`` arms a 0.6 s deadline
+    with three instant retries and nothing else — timed-out work
+    re-enters the queue immediately, inflating the load the timeouts
+    came from, and goodput collapses while attempted work soars;
+    ``hardened`` spends the identical retry budget with exponential
+    backoff + seeded jitter, a bounded queue shedding newest low-class
+    work, and per-shard circuit breakers that route around the
+    degraded shard — goodput stays near the baseline.
+    """
+    specs = resilience_grid(fast)
+    runs = [execute_scenario(spec) for spec in specs]
+    xs = tuple(sorted({row["t"] for run in runs for row in run.timeline}))
+    goodput_series: List[Series] = []
+    storm_series: List[Series] = []
+    notes: List[str] = []
+    for spec, run in zip(specs, runs):
+        variant = spec.tag[len("rs-"):]
+        by_t = {row["t"]: row for row in run.timeline}
+        goodput_series.append(Series(
+            label=variant,
+            # without a deadline every commit is within budget, so the
+            # baseline's throughput is its goodput
+            ys=tuple(
+                by_t[t].get("goodput", by_t[t]["throughput"])
+                if t in by_t else _NAN
+                for t in xs
+            ),
+        ))
+        summary = run.resilience
+        if summary is None:
+            notes.append(
+                f"{variant}: no deadlines — throughput "
+                f"{run.result.throughput:.1f} tx/s is all goodput"
+            )
+            continue
+        storm_series.append(Series(
+            label=f"{variant} attempts",
+            ys=tuple(
+                by_t[t]["attempt_throughput"] if t in by_t else _NAN
+                for t in xs
+            ),
+        ))
+        storm_series.append(Series(
+            label=f"{variant} goodput",
+            ys=tuple(by_t[t]["goodput"] if t in by_t else _NAN for t in xs),
+        ))
+        breaker_note = ""
+        if summary.get("breakers"):
+            flips = sum(len(b["transitions"]) for b in summary["breakers"])
+            breaker_note = f", breaker transitions {flips}"
+        notes.append(
+            f"{variant}: admitted {summary['admitted']}, committed in "
+            f"budget {summary['completed']}, timed out "
+            f"{summary['timed_out']}, shed {summary['shed']}, retries "
+            f"{summary['retries']}{breaker_note}"
+        )
+    scale_note = (
+        f"{RS_SHARDS} shards, {RS_RATE:g} tx/s offered, static MPL = "
+        f"{RS_MPL_PER_SHARD} x shards, deadline {RS_DEADLINE_S:g}s, "
+        f"{RS_MAX_ATTEMPTS} retries; degrade shard 1 x0.3 "
+        f"t={RS_DEGRADE_AT:g}s, kill shard 0 t={RS_KILL_AT:g}s, restore "
+        f"t={RS_RESTORE_AT:g}s"
+    )
+    return [
+        FigureResult(
+            figure="RS-a",
+            title="Goodput per second through degrade -> kill -> restore",
+            xlabel="time (s)",
+            xs=xs,
+            series=tuple(goodput_series),
+            notes=(scale_note, *notes),
+        ),
+        FigureResult(
+            figure="RS-b",
+            title="Retry storm: attempted vs useful work per second",
+            xlabel="time (s)",
+            xs=xs,
+            series=tuple(storm_series),
+            notes=(
+                scale_note,
+                "the gap between an attempts curve and its goodput curve "
+                "is wasted work: deadline-aborted executions and their "
+                "retries",
+            ),
+        ),
+    ]
+
+
 # -- declarative grids (for `repro.experiments bench` and CI) ----------------
 
 
@@ -1260,6 +1447,11 @@ GRID_DEFS: Dict[str, GridDef] = {
         mpls=(),
         panels=(),
         builder=replica_fanout_grid,
+    ),
+    "rs": GridDef(
+        mpls=(),
+        panels=(),
+        builder=resilience_grid,
     ),
 }
 

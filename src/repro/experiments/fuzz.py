@@ -20,7 +20,9 @@ hand-writing grids.  The pieces:
 * An **oracle library** (:data:`ORACLES`) run against every sampled
   scenario at small transaction counts: codec round-trip,
   ``validate()`` acceptance, transaction conservation (per-shard
-  re-route transfer accounting included), bit-identical replay,
+  re-route transfer accounting included), exactly-once disposition
+  under the resilience gate (every admission is completed, timed out,
+  shed, or in flight — never two, never none), bit-identical replay,
   ``--jobs N`` invariance through the
   :class:`~repro.experiments.parallel.ParallelRunner`, and MPL/SLO
   sanity (per-shard MPL split sums to the global budget, dead shards
@@ -57,6 +59,7 @@ from repro.core.arrivals import (
 )
 from repro.core.cluster import ClusteredSystem
 from repro.core.faults import DegradeShard, FaultEvent, FaultSpec, KillShard, RestoreShard
+from repro.core.resilience import GoodputStarved, SHED_POLICIES, ResilienceSpec
 from repro.core.scenario import (
     ElasticMpl,
     FeedbackMpl,
@@ -113,7 +116,7 @@ class ScenarioWalker:
     """
 
     AXES = ("workload", "arrival", "topology", "control", "faults",
-            "measurement", "mix")
+            "resilience", "measurement", "mix")
 
     def __init__(
         self,
@@ -286,6 +289,32 @@ class ScenarioWalker:
             return None
         return FaultSpec(events=tuple(events))
 
+    def _sample_resilience(self) -> Optional[ResilienceSpec]:
+        rng = self.rng
+        if rng.random() < 0.35:
+            return None
+        # deadlines are generous relative to fuzzing-size service times
+        # (tens of milliseconds), so a resilient walk always makes
+        # forward progress — goodput-zero livelock is the figure's job,
+        # not the fuzzer's
+        max_attempts = rng.choice((0, 0, 1, 2, 3))
+        return ResilienceSpec(
+            deadline_s=rng.choice((1.0, 2.0, 5.0)),
+            high_deadline_s=rng.choice((None, None, 2.0, 5.0)),
+            max_attempts=max_attempts,
+            base_backoff_s=(
+                rng.choice((0.0, 0.01, 0.05)) if max_attempts > 0 else None
+            ),
+            backoff_multiplier=rng.choice((1.0, 2.0)),
+            jitter_fraction=rng.choice((0.0, 0.25, 0.5)),
+            queue_cap=rng.choice((None, None, 8, 16, 32)),
+            shed_policy=rng.choice(SHED_POLICIES),
+            breaker_enabled=rng.random() < 0.35,
+            breaker_window=rng.choice((5, 10, 20)),
+            breaker_timeout_threshold=rng.choice((0.3, 0.5, 0.8)),
+            breaker_open_s=rng.choice((0.2, 0.5, 1.0)),
+        )
+
     def _sample_measurement(self) -> MeasurementSpec:
         rng = self.rng
         metrics: Tuple[str, ...] = ("standard",)
@@ -321,6 +350,7 @@ class ScenarioWalker:
             "faults": self._sample_faults(
                 topology.shards, topology.replicas_per_shard
             ),
+            "resilience": self._sample_resilience(),
             "measurement": self._sample_measurement(),
             "mix": self._sample_mix(),
         }
@@ -334,21 +364,28 @@ class ScenarioWalker:
         plus the run-safety rules the constructor cannot know about
         (never kill the last live shard; no faults under a per-shard
         tuning loop, which would wait forever on a dead shard's
-        completions under open arrivals).
+        completions under open arrivals).  Works on a copy: the walk's
+        stored axes keep their sampled values, so an axis suppressed
+        by one step's control choice (faults under ``FeedbackMpl``,
+        resilience under a tuning loop) resurfaces as soon as the
+        conflicting axis mutates away — repair is per-spec, not sticky.
         """
         rng = self.rng
+        axes = dict(axes)
         topology: TopologySpec = axes["topology"]
         control = axes["control"]
         clustered = topology.shards > 1 or topology.replicas_per_shard > 0
 
         if isinstance(control, PerClassSlo):
-            if topology.shards != 1:
+            if topology.shards != 1 or topology.replicas_per_shard > 0:
+                # a truly single-engine topology: the SLO tuning loop
+                # drives one ExternalScheduler, not a cluster façade
                 topology = dataclasses.replace(
                     topology, shards=1, routing="round_robin",
-                    routing_weights=None,
+                    routing_weights=None, replicas_per_shard=0,
                 )
                 axes["topology"] = topology
-                clustered = topology.replicas_per_shard > 0
+                clustered = False
             if axes["mix"]["high_priority_fraction"] <= 0:
                 axes["mix"] = dict(
                     axes["mix"], high_priority_fraction=rng.choice((0.1, 0.3))
@@ -383,6 +420,48 @@ class ScenarioWalker:
             # window forever under open arrivals
             axes["faults"] = None
 
+        resilience: Optional[ResilienceSpec] = axes["resilience"]
+        if resilience is not None:
+            # the resilience gate composes with static/elastic capacity
+            # control; the per-shard tuning loops (feedback, SLO) run
+            # baseline twins outside the gate, so the axes stay apart
+            if isinstance(control, (FeedbackMpl, PerClassSlo)):
+                axes["resilience"] = None
+                resilience = None
+        if resilience is not None and topology.replicas_per_shard > 0:
+            # replica groups own their own retry story — when both axes
+            # land, a coin decides which one this step keeps, so the
+            # walk covers each at full strength
+            if rng.random() < 0.5:
+                axes["resilience"] = None
+                resilience = None
+            else:
+                topology = dataclasses.replace(topology, replicas_per_shard=0)
+                if isinstance(control, ElasticMpl) and topology.shards < 2:
+                    # elastic control needs the topology to stay
+                    # clustered once the replicas are gone
+                    topology = dataclasses.replace(topology, shards=2)
+                axes["topology"] = topology
+                clustered = topology.shards > 1
+        if resilience is not None and (
+            resilience.breaker_enabled and topology.shards < 2
+        ):
+            axes["resilience"] = dataclasses.replace(
+                resilience, breaker_enabled=False
+            )
+        resilience = axes["resilience"]
+        if resilience is not None and resilience.queue_cap is not None:
+            # shedding needs externally driven arrivals: a closed client
+            # resubmits the instant a shed releases it (zero-time livelock)
+            closed_population = axes["arrival_rate"] is None and (
+                axes["arrival"] is None
+                or isinstance(axes["arrival"], ClosedArrivals)
+            )
+            if closed_population:
+                axes["resilience"] = dataclasses.replace(
+                    resilience, queue_cap=None
+                )
+
         faults: Optional[FaultSpec] = axes["faults"]
         if faults is not None:
             if not clustered:
@@ -413,6 +492,7 @@ class ScenarioWalker:
             seed=mix["seed"],
             tag=f"fuzz-{self.steps}",
             faults=axes["faults"],
+            resilience=axes["resilience"],
         )
 
     def next_spec(self) -> ScenarioSpec:
@@ -439,12 +519,13 @@ class ScenarioWalker:
                     self._axes["faults"] = self._sample_faults(
                         topology.shards, topology.replicas_per_shard
                     )
+                elif axis == "resilience":
+                    self._axes["resilience"] = self._sample_resilience()
                 elif axis == "measurement":
                     self._axes["measurement"] = self._sample_measurement()
                 else:
                     self._axes["mix"] = self._sample_mix()
-        self._axes = self._reconcile(self._axes)
-        return self._build(self._axes)
+        return self._build(self._reconcile(self._axes))
 
     def specs(self, count: int) -> List[ScenarioSpec]:
         return [self.next_spec() for _ in range(count)]
@@ -459,9 +540,10 @@ def fault_timeline_is_safe(
     treated as possibly dead (with replicas a single kill only fells
     the primary, but a back-to-back double kill mid-election can still
     take the group out).  The router raises ``SimulationError`` when
-    every shard is out of rotation, so the generator (and the
-    shrinker) only emit timelines that keep at least one shard
-    kill-free at every instant.
+    every shard is dead (administrative parking falls open to an alive
+    shard, but nothing routes around a fully killed cluster), so the
+    generator (and the shrinker) only emit timelines that keep at
+    least one shard kill-free at every instant.
     """
     del replicas  # conservative: replicated shards treated like bare ones
     suspect = [False] * shards
@@ -530,15 +612,21 @@ def oracle_conservation(ctx: OracleContext) -> None:
         return
     router = system.router
     frontends = [shard.frontend for shard in system.shards]
+    # `removed` holds the admissions the resilience layer pulled back
+    # out (queued deadline expiry, load shedding) — zero without it
     total_held = sum(
-        f.completed + f.in_service + f.queue_length for f in frontends
+        f.completed + f.in_service + f.queue_length + f.removed
+        for f in frontends
     )
     if router.routed != total_held:
         raise OracleFailure(
             f"router routed {router.routed} but shards hold {total_held}"
         )
     for index, frontend in enumerate(frontends):
-        held = frontend.completed + frontend.in_service + frontend.queue_length
+        held = (
+            frontend.completed + frontend.in_service
+            + frontend.queue_length + frontend.removed
+        )
         placed = (
             router.routed_by_shard[index]
             + router.rerouted_to[index]
@@ -599,6 +687,65 @@ def oracle_mpl_sanity(ctx: OracleContext) -> None:
             )
 
 
+def oracle_disposition(ctx: OracleContext) -> None:
+    """Every admitted transaction lands in exactly one disposition.
+
+    The resilience gate's exactly-once contract: across retries, shard
+    kills, and shed queues, an admission is completed, timed out, shed,
+    or still in flight — never two of those, never none.
+    """
+    runtime = getattr(ctx.system, "resilience", None)
+    if runtime is None:
+        return
+    settled = runtime.completed + runtime.timed_out + runtime.shed
+    if runtime.admitted != settled + runtime.in_flight:
+        raise OracleFailure(
+            f"admitted {runtime.admitted} != completed {runtime.completed} "
+            f"+ timed_out {runtime.timed_out} + shed {runtime.shed} "
+            f"+ in_flight {runtime.in_flight}"
+        )
+    tally: Dict[str, int] = {}
+    for disposition in runtime.dispositions().values():
+        tally[disposition] = tally.get(disposition, 0) + 1
+    expected = {
+        "completed": runtime.completed,
+        "timed_out": runtime.timed_out,
+        "shed": runtime.shed,
+        "in_flight": runtime.in_flight,
+    }
+    mismatches = {
+        key: (tally.get(key, 0), count)
+        for key, count in expected.items()
+        if tally.get(key, 0) != count
+    }
+    if mismatches or set(tally) - set(expected):
+        raise OracleFailure(
+            f"per-transaction dispositions disagree with the counters: "
+            f"{mismatches or sorted(set(tally) - set(expected))}"
+        )
+    per_class = runtime.per_class
+    for priority, admitted in per_class["admitted"].items():
+        settled_class = sum(
+            per_class[counter].get(priority, 0)
+            for counter in ("completed", "timed_out", "shed")
+        )
+        if admitted < settled_class:
+            raise OracleFailure(
+                f"class {priority}: {settled_class} settled but only "
+                f"{admitted} admitted"
+            )
+    # the gate only ever counts commits as completed, and the collector
+    # only ever records commits the gate let through, so the gate can
+    # lag the collector by at most the in-flight tail (the run stops
+    # the instant the Nth record lands, before that record's gate
+    # callback) — never lead it
+    if runtime.completed > len(ctx.system.collector.records):
+        raise OracleFailure(
+            f"gate counted {runtime.completed} completions but the "
+            f"collector recorded only {len(ctx.system.collector.records)}"
+        )
+
+
 def oracle_replay(ctx: OracleContext) -> None:
     """A second run of the same spec must be bit-identical."""
     _, second = run_scenario(ctx.spec)
@@ -629,6 +776,7 @@ ORACLES: Dict[str, Callable[[OracleContext], None]] = {
     "validate-accepts": oracle_validate_accepts,
     "conservation": oracle_conservation,
     "mpl-sanity": oracle_mpl_sanity,
+    "disposition": oracle_disposition,
     "replay": oracle_replay,
     "jobs-invariance": oracle_jobs_invariance,
 }
@@ -652,6 +800,12 @@ def check_scenario(
             return name, str(exc)
     try:
         ctx.system, ctx.outcome = run_scenario(spec)
+    except GoodputStarved as exc:
+        # A valid spec whose completion-counted window can never fill
+        # (saturated retry storm → zero steady-state goodput).  The
+        # refusal is the correct behaviour, not a finding — but the
+        # detection itself must replay bit-identically.
+        return _check_starvation_replays(spec, str(exc))
     except Exception as exc:  # noqa: BLE001 — any crash is a finding
         return "execution", f"{type(exc).__name__}: {exc}"
     for name, oracle in ORACLES.items():
@@ -662,6 +816,30 @@ def check_scenario(
         except OracleFailure as exc:
             return name, str(exc)
     return None
+
+
+def _check_starvation_replays(
+    spec: ScenarioSpec, first_error: str
+) -> Optional[Tuple[str, str]]:
+    """Re-run a goodput-starved spec; the refusal must be deterministic."""
+    try:
+        run_scenario(spec)
+    except GoodputStarved as exc:
+        if str(exc) == first_error:
+            return None
+        return "replay", (
+            "goodput starvation is not deterministic: first run said "
+            f"{first_error!r}, replay said {str(exc)!r}"
+        )
+    except Exception as exc:  # noqa: BLE001
+        return "replay", (
+            "goodput starvation is not deterministic: replay raised "
+            f"{type(exc).__name__}: {exc}"
+        )
+    return "replay", (
+        "goodput starvation is not deterministic: the replay finished "
+        f"(first run said {first_error!r})"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -691,6 +869,25 @@ def _shrink_candidates(spec: ScenarioSpec) -> List[ScenarioSpec]:
             return
         out.append(candidate)
 
+    if spec.resilience is not None:
+        push(resilience=None)
+
+        def push_resilience(**changes: Any) -> None:
+            try:
+                push(resilience=dataclasses.replace(spec.resilience, **changes))
+            except ValueError:
+                return
+
+        if spec.resilience.breaker_enabled:
+            push_resilience(breaker_enabled=False)
+        if spec.resilience.queue_cap is not None:
+            push_resilience(queue_cap=None)
+        if spec.resilience.max_attempts > 0:
+            push_resilience(max_attempts=0, base_backoff_s=None)
+        if spec.resilience.jitter_fraction > 0:
+            push_resilience(jitter_fraction=0.0)
+        if spec.resilience.high_deadline_s is not None:
+            push_resilience(high_deadline_s=None)
     if spec.faults is not None:
         push(faults=None)
         if len(spec.faults.events) > 1:
@@ -858,6 +1055,24 @@ def replay_corpus(
             spec = ScenarioSpec.validate(payload["spec"])
         except ScenarioValidationError as exc:
             failures.append(f"{name}: spec no longer validates: {exc}")
+            continue
+        if expect == "goodput_starved":
+            try:
+                run_scenario(spec)
+            except GoodputStarved:
+                if log:
+                    log(f"[corpus] {name}: starved as expected")
+                continue
+            except Exception as exc:  # noqa: BLE001
+                failures.append(
+                    f"{name}: expected GoodputStarved, got "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            failures.append(
+                f"{name}: ran to completion but the corpus expects "
+                "goodput starvation"
+            )
             continue
         verdict = check_scenario(spec, check_jobs=check_jobs)
         if verdict is not None:

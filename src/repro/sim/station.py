@@ -351,6 +351,12 @@ class RouterStation(Station):
         self.rerouted = 0
         self.rerouted_from: List[int] = [0] * len(self.targets)
         self.rerouted_to: List[int] = [0] * len(self.targets)
+        #: Optional per-shard circuit breakers
+        #: (:class:`~repro.core.resilience.ShardBreaker`, duck-typed:
+        #: ``admit(now) -> bool``), installed by the resilience runtime.
+        #: None keeps routing health-blind — the pre-resilience path,
+        #: byte-identical.
+        self.breakers: Optional[List] = None
 
     # -- liveness ----------------------------------------------------------
 
@@ -379,11 +385,23 @@ class RouterStation(Station):
             )
 
     def _fallback(self, index: int) -> int:
-        """Next routable index after ``index``, scanning cyclically."""
+        """Next routable index after ``index``, scanning cyclically.
+
+        Administrative parking must never make the cluster unroutable:
+        when every in-rotation shard is dead (an elastic controller
+        parked the survivor just before a kill landed), an alive but
+        parked shard takes the work as the target of last resort.  Only
+        a cluster with no alive shard at all raises — the fault axis'
+        liveness validation is supposed to make that unreachable.
+        """
         n = len(self.targets)
         for step in range(1, n):
             candidate = (index + step) % n
             if self.routable(candidate):
+                return candidate
+        for step in range(n):
+            candidate = (index + step) % n
+            if self.alive[candidate]:
                 return candidate
         raise SimulationError(
             f"router {self.name!r} has no live targets to route to"
@@ -401,10 +419,37 @@ class RouterStation(Station):
             )
         if not self.routable(index):
             index = self._fallback(index)
+        if self.breakers is not None:
+            index = self._breaker_admit(index)
         self._routed_tids.add(tx.tid)
         self.routed_by_shard[index] += 1
         self._record(tx.priority)
         return self.targets[index].submit(tx)
+
+    def _breaker_admit(self, index: int) -> int:
+        """Health-aware admission: the first routable shard whose
+        breaker admits, scanning cyclically from the policy's choice.
+        Fail-open: when every breaker refuses, the original (routable)
+        choice takes the transaction anyway — shedding is the
+        admission queue's job, not the router's."""
+        now = self.sim.now
+        if self.breakers[index].admit(now):
+            return index
+        n = len(self.targets)
+        for step in range(1, n):
+            candidate = (index + step) % n
+            if self.routable(candidate) and self.breakers[candidate].admit(now):
+                return candidate
+        return index
+
+    def release(self, tid: int) -> None:
+        """Forget a routed transaction id so it may be routed again.
+
+        The resilience layer's retry hook: a timed-out or shed
+        transaction re-enters through ``submit``, which would otherwise
+        trip the no-double-routing guard.
+        """
+        self._routed_tids.discard(tid)
 
     def reroute(self, tx, source: int) -> None:
         """Re-home an admitted transaction drained from a dead shard.

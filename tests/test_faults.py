@@ -221,9 +221,19 @@ class TestRouterLiveness:
         assert not targets[1].submitted
         assert len(targets[0].submitted) + len(targets[2].submitted) == 6
 
+    def test_parked_survivor_is_the_target_of_last_resort(self):
+        # a parked-but-alive shard must still take work when every
+        # in-rotation shard is dead (elastic park racing a kill fault)
+        router, targets, Tx = self._router(2)
+        router.set_alive(0, False)
+        router.set_rotation(1, False)
+        router.submit(Tx(1))
+        assert len(targets[1].submitted) == 1
+
     def test_no_live_targets_raises(self):
         router, _targets, Tx = self._router(2)
         router.set_alive(0, False)
+        router.set_alive(1, False)
         router.set_rotation(1, False)
         with pytest.raises(SimulationError, match="no live targets"):
             router.submit(Tx(1))

@@ -13,6 +13,7 @@ import os
 import pytest
 
 from repro.core.faults import FaultSpec, KillShard, RestoreShard
+from repro.core.resilience import ResilienceSpec
 from repro.core.scenario import (
     MeasurementSpec,
     ScenarioSpec,
@@ -73,6 +74,29 @@ class TestWalkerValidity:
                 spec.topology.replicas_per_shard,
             )
 
+    def test_walk_exercises_the_resilience_axis(self):
+        resilient = [
+            spec for spec in ScenarioWalker(seed=1).specs(40)
+            if spec.resilience is not None
+        ]
+        assert len(resilient) >= 4
+        # the interesting sub-mechanisms each show up in the walk
+        assert any(s.resilience.max_attempts > 0 for s in resilient)
+        assert any(s.resilience.breaker_enabled for s in resilient)
+
+    def test_resilient_specs_respect_the_cross_field_rules(self):
+        # _reconcile must deliver constructor-valid combinations: the
+        # constructor itself enforces these, so reaching it with a bad
+        # combo would raise inside specs()
+        for spec in ScenarioWalker(seed=2).specs(60):
+            if spec.resilience is None:
+                continue
+            assert spec.topology.replicas_per_shard == 0
+            if spec.resilience.breaker_enabled:
+                assert spec.topology.shards >= 2
+            if spec.resilience.queue_cap is not None:
+                assert spec.is_open
+
 
 class TestFaultTimelineSafety:
     def test_single_survivor_is_safe(self):
@@ -123,9 +147,24 @@ class TestOracles:
             "validate-accepts",
             "conservation",
             "mpl-sanity",
+            "disposition",
             "replay",
             "jobs-invariance",
         }
+
+    def test_resilient_scenario_passes_every_oracle(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec(shards=2, routing="least_in_flight"),
+            control=StaticMpl(mpl=8),
+            resilience=ResilienceSpec(
+                deadline_s=1.0, max_attempts=1, base_backoff_s=0.01,
+                jitter_fraction=0.5, queue_cap=12,
+            ),
+            measurement=MeasurementSpec(transactions=60),
+            arrival_rate=60.0,
+            seed=4,
+        )
+        assert check_scenario(spec, check_jobs=True) is None
 
 
 class TestShrinker:
@@ -181,6 +220,60 @@ class TestShrinker:
         # dropping it would make the failure vanish
         assert minimized.faults is not None
         assert minimized.topology.shards >= 2
+
+    def test_shrink_simplifies_the_resilience_axis(self, monkeypatch):
+        def toy_oracle(ctx):
+            raise OracleFailure("toy: fails on every spec")
+
+        monkeypatch.setitem(fuzz.ORACLES, "toy", toy_oracle)
+        monkeypatch.setattr(fuzz, "_STRUCTURAL", fuzz._STRUCTURAL + ("toy",))
+
+        spec = ScenarioSpec(
+            topology=TopologySpec(shards=2, routing="least_in_flight"),
+            control=StaticMpl(mpl=8),
+            resilience=ResilienceSpec(
+                deadline_s=1.0, high_deadline_s=3.0, max_attempts=2,
+                base_backoff_s=0.05, jitter_fraction=0.5, queue_cap=8,
+                breaker_enabled=True,
+            ),
+            measurement=MeasurementSpec(transactions=100),
+            arrival_rate=60.0,
+            seed=6,
+        )
+        minimized = shrink_scenario(spec, "toy", max_rounds=30)
+        # the whole axis is droppable for an axis-independent failure
+        assert minimized.resilience is None
+
+    def test_shrink_keeps_resilience_when_the_failure_needs_it(
+        self, monkeypatch
+    ):
+        def needs_resilience(ctx):
+            if ctx.spec.resilience is not None:
+                raise OracleFailure("resilient specs are (pretend-)broken")
+
+        monkeypatch.setitem(fuzz.ORACLES, "toy", needs_resilience)
+        monkeypatch.setattr(fuzz, "_STRUCTURAL", fuzz._STRUCTURAL + ("toy",))
+
+        spec = ScenarioSpec(
+            topology=TopologySpec(shards=2, routing="least_in_flight"),
+            control=StaticMpl(mpl=8),
+            resilience=ResilienceSpec(
+                deadline_s=1.0, high_deadline_s=3.0, max_attempts=2,
+                base_backoff_s=0.05, jitter_fraction=0.5, queue_cap=8,
+                breaker_enabled=True,
+            ),
+            measurement=MeasurementSpec(transactions=100),
+            arrival_rate=60.0,
+            seed=6,
+        )
+        minimized = shrink_scenario(spec, "toy", max_rounds=30)
+        assert minimized.resilience is not None
+        # ...but the knobs the failure does not need are simplified away
+        assert not minimized.resilience.breaker_enabled
+        assert minimized.resilience.queue_cap is None
+        assert minimized.resilience.max_attempts == 0
+        assert minimized.resilience.jitter_fraction == 0.0
+        assert minimized.resilience.high_deadline_s is None
 
 
 class TestCorpus:
