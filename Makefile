@@ -19,9 +19,9 @@ BENCH_CACHE ?= .repro-bench-cache
 # coverage floor for the modules the cluster + scenario PRs introduced
 # (what CI enforces); the rest of the tree is reported, not gated
 COV_MIN     ?= 90
-COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station --cov=repro.core.scenario --cov=repro.core.faults --cov=repro.core.resilience
+COV_MODULES  = --cov=repro.core.cluster --cov=repro.sim.station --cov=repro.core.scenario --cov=repro.core.faults --cov=repro.core.resilience --cov=repro.core.distributed
 # figure grids the scenario round-trip check walks
-SCENARIO_GRIDS ?= 2 3 4 5 smoke sh po ft rf rs
+SCENARIO_GRIDS ?= 2 3 4 5 smoke sh po ft rf rs xs es
 # fuzz campaign knobs (what CI's smoke job runs; ~45s total)
 FUZZ_SEED       ?= 0
 FUZZ_ITERATIONS ?= 75

@@ -693,6 +693,9 @@ class ClusteredSystem(MeasuredSystem):
         #: The installed resilience runtime (scenario-driven; None keeps
         #: the legacy behavior).
         self.resilience = None
+        #: The installed 2PC coordinator (scenario-driven; None outside
+        #: distributed scenarios).
+        self.distributed = None
         base_streams: Optional[RandomStreams] = None
         for shard_config in config.shards:
             collector = _ShardCollector(self.collector)
@@ -822,6 +825,10 @@ class ClusteredSystem(MeasuredSystem):
         for the fault log.
         """
         self._check_shard(index)
+        if self.distributed is not None:
+            # participant death: abort undecided 2PC attempts with a
+            # branch queued here *before* the drain re-homes the queue
+            self.distributed.on_shard_killed(index)
         shard = self.shards[index]
         if shard.group is not None:
             still_serving, detail = shard.group.kill_primary()

@@ -677,3 +677,225 @@ class ElasticCapacityController:
                            f"(utilization {utilization:.2f})",
                 )
             )
+
+# -- cluster-wide SLO control (clusters) ---------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSloObservation:
+    """One observation window of the cluster-wide SLO loop."""
+
+    mpl: int
+    completed: int
+    high_count: int
+    high_p95: float
+    low_throughput: float
+    split: tuple
+    feasible: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSloReport:
+    """Outcome of a cluster-wide SLO tuning session."""
+
+    final_mpl: int
+    final_split: tuple
+    iterations: int
+    converged: bool
+    trajectory: List[ClusterSloObservation]
+
+
+class ClusterSloController:
+    """Hold the *cluster-wide* HIGH p95 under a target while maximizing
+    LOW throughput, driving the global MPL split as one lever.
+
+    :class:`PerClassSloController` lifted from single-engine to cluster
+    scope: the observation window is the cluster collector (every
+    shard's completions), and the reaction re-splits the *global* MPL
+    across shards via
+    :meth:`~repro.core.cluster.ShardedExternalScheduler.set_global_mpl`
+    with health-aware weights — each routable shard weighted by its
+    current load (in-service + queued, so hot shards and cross-shard
+    fan-in pull capacity), dead/parked shards floored at the parked
+    weight, and shards whose circuit breaker is not closed discounted.
+    The search itself is the same highest-feasible bracket walk, except
+    the floor is one MPL slot per shard (``split_mpl`` needs that) —
+    a 2PC branch parked at its prepare gate occupies a slot, so a
+    cluster starved below one-per-shard would distributed-deadlock.
+    """
+
+    MIN_HIGH_SAMPLES = 20
+    MAX_EXTENSIONS = 6
+    #: Weight multiplier for shards whose breaker is open/half-open.
+    UNHEALTHY_DISCOUNT = 0.25
+    #: Weight floor for dead/parked shards (the elastic idiom).
+    PARKED_WEIGHT = 1e-9
+
+    def __init__(
+        self,
+        system,
+        target_p95_s: float,
+        initial_mpl: int,
+        window: int = 150,
+        step: int = 2,
+        max_mpl: int = 256,
+        max_iterations: int = 30,
+    ):
+        num_shards = len(system.shards)
+        if target_p95_s <= 0:
+            raise ValueError(f"target_p95_s must be positive, got {target_p95_s!r}")
+        if initial_mpl < num_shards:
+            raise ValueError(
+                f"initial_mpl {initial_mpl!r} cannot cover {num_shards} "
+                "shards (need >= 1 each)"
+            )
+        if max_mpl < initial_mpl:
+            raise ValueError(
+                f"max_mpl {max_mpl!r} must be >= initial_mpl {initial_mpl!r}"
+            )
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window!r}")
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step!r}")
+        self.system = system
+        self.target_p95_s = target_p95_s
+        self.initial_mpl = initial_mpl
+        self.window = window
+        self.step = step
+        self.max_mpl = max_mpl
+        self.max_iterations = max_iterations
+        self.floor = num_shards
+        self._last_split: tuple = ()
+
+    def _split_weights(self) -> List[float]:
+        """Health-aware weights for the global-MPL split."""
+        system = self.system
+        router = system.router
+        breakers = (
+            system.resilience.breakers
+            if getattr(system, "resilience", None) is not None
+            else None
+        )
+        weights: List[float] = []
+        for index, shard in enumerate(system.shards):
+            if not router.routable(index):
+                weights.append(self.PARKED_WEIGHT)
+                continue
+            weight = 1.0 + shard.frontend.in_service + shard.frontend.queue_length
+            if breakers is not None and breakers[index].state != "closed":
+                weight *= self.UNHEALTHY_DISCOUNT
+            weights.append(weight)
+        return weights
+
+    def _apply(self, mpl: int) -> tuple:
+        split = tuple(
+            self.system.scheduler.set_global_mpl(
+                mpl, weights=self._split_weights()
+            )
+        )
+        self._last_split = split
+        return split
+
+    def _observe(self, mpl: int, split: tuple) -> ClusterSloObservation:
+        from repro.dbms.transaction import Priority
+
+        records = self.system.run_transactions(self.window)
+        extensions = 0
+        while (
+            extensions < self.MAX_EXTENSIONS
+            and sum(1 for r in records if r.priority == Priority.HIGH)
+            < self.MIN_HIGH_SAMPLES
+        ):
+            extensions += 1
+            records = records + self.system.run_transactions(self.window)
+        high = [r.response_time for r in records if r.priority == Priority.HIGH]
+        low_count = len(records) - len(high)
+        elapsed = records[-1].completion_time - records[0].completion_time
+        low_throughput = low_count / elapsed if elapsed > 0 else 0.0
+        p95 = stats.percentile(high, 95.0)
+        return ClusterSloObservation(
+            mpl=mpl,
+            completed=len(records),
+            high_count=len(high),
+            high_p95=p95,
+            low_throughput=low_throughput,
+            split=split,
+            feasible=bool(high) and p95 <= self.target_p95_s,
+        )
+
+    def tune(self) -> ClusterSloReport:
+        """Run observation/reaction iterations until convergence.
+
+        Convergence mirrors :meth:`PerClassSloController.tune`: the
+        loop sits at a feasible global MPL whose immediate successor is
+        known infeasible, or the feasible region reaches ``max_mpl``,
+        or the iteration budget runs out.  The split is re-derived from
+        live health at every reaction, so the same global MPL can land
+        differently as shards heat up or trip their breakers.
+        """
+        mpl = self.initial_mpl
+        trajectory: List[ClusterSloObservation] = []
+        highest_feasible: Optional[int] = None
+        lowest_infeasible: Optional[int] = None
+        step = self.step
+        iteration = 0
+        while iteration < self.max_iterations:
+            iteration += 1
+            split = self._apply(mpl)
+            observation = self._observe(mpl, split)
+            trajectory.append(observation)
+            if observation.feasible:
+                if highest_feasible is None or mpl > highest_feasible:
+                    highest_feasible = mpl
+                if mpl >= self.max_mpl or (
+                    lowest_infeasible is not None and mpl + 1 >= lowest_infeasible
+                ):
+                    return ClusterSloReport(
+                        final_mpl=mpl, final_split=self._last_split,
+                        iterations=iteration, converged=True,
+                        trajectory=trajectory,
+                    )
+                if lowest_infeasible is None:
+                    next_mpl = min(self.max_mpl, mpl + step)
+                    step *= 2
+                else:
+                    next_mpl = (mpl + lowest_infeasible) // 2
+                    step = self.step
+                mpl = next_mpl
+            else:
+                if lowest_infeasible is None or mpl < lowest_infeasible:
+                    lowest_infeasible = mpl
+                if highest_feasible is not None and mpl - 1 <= highest_feasible:
+                    self._apply(highest_feasible)
+                    return ClusterSloReport(
+                        final_mpl=highest_feasible,
+                        final_split=self._last_split,
+                        iterations=iteration, converged=True,
+                        trajectory=trajectory,
+                    )
+                if mpl <= self.floor:
+                    # even one-slot-per-shard misses the SLO: the
+                    # target is unattainable on this cluster — hold
+                    # the floor
+                    self._apply(self.floor)
+                    return ClusterSloReport(
+                        final_mpl=self.floor, final_split=self._last_split,
+                        iterations=iteration, converged=False,
+                        trajectory=trajectory,
+                    )
+                if highest_feasible is None:
+                    next_mpl = max(self.floor, mpl - step)
+                    step *= 2
+                else:
+                    next_mpl = (mpl + highest_feasible) // 2
+                    step = self.step
+                mpl = next_mpl
+        final = highest_feasible if highest_feasible is not None else self.floor
+        self._apply(final)
+        return ClusterSloReport(
+            final_mpl=final,
+            final_split=self._last_split,
+            iterations=iteration,
+            converged=False,
+            trajectory=trajectory,
+        )

@@ -64,6 +64,9 @@ class ExternalScheduler:
         #: (None outside resilient scenarios — the default path is
         #: untouched).
         self._resilience = None
+        #: The installed :class:`~repro.core.distributed.TwoPhaseCoordinator`
+        #: (None outside distributed scenarios).
+        self._distributed = None
         self._on_complete_cb = self._on_complete  # one bound method, reused
         self._fire = sim._fire_now  # same-instant completion lane
 
@@ -98,6 +101,8 @@ class ExternalScheduler:
             self.collector.on_arrival(tx)
         self.policy.push(tx)
         self._dispatch()
+        if self._distributed is not None:
+            self._distributed.on_submitted(tx, self)
         if self._resilience is not None:
             self._resilience.on_submitted(tx, self)
         return done
@@ -112,6 +117,8 @@ class ExternalScheduler:
         """
         self.policy.push(tx)
         self._dispatch()
+        if self._distributed is not None:
+            self._distributed.on_submitted(tx, self)
         if self._resilience is not None:
             self._resilience.on_submitted(tx, self)
 
@@ -160,12 +167,16 @@ class ExternalScheduler:
         tx: Transaction = event.value
         self._in_service -= 1
         self.completed += 1
-        # deadline-aborted attempts are not completions: the resilience
-        # layer decides their fate, and the collector only ever sees
-        # committed work (so records/throughput stay goodput-clean)
+        # deadline-aborted attempts are not completions (the resilience
+        # layer or 2PC coordinator decides their fate) and 2PC sibling
+        # branches (negative tids) are never logical work — the
+        # collector only ever sees committed logical transactions
+        # (records/throughput stay goodput-clean)
+        distributed = self._distributed
         if self.collector is not None and (
-            self._resilience is None or tx.status is TxStatus.COMMITTED
-        ):
+            (self._resilience is None and distributed is None)
+            or tx.status is TxStatus.COMMITTED
+        ) and (distributed is None or tx.tid >= 0):
             self.collector.on_completion(tx)
         done = tx._completion_event
         tx._completion_event = None

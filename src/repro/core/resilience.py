@@ -530,6 +530,9 @@ class ResilienceRuntime:
         if frontend is not None and frontend.policy.remove(tx):
             # expired while still queued: never reached the engine
             frontend.removed += 1
+            distributed = getattr(frontend, "_distributed", None)
+            if distributed is not None:
+                distributed.on_external_removed(tx)
             now = self.sim.now
             self._observe(st, now - st.admitted_at, True)
             self._register_timeout(st, now)
@@ -608,6 +611,9 @@ class ResilienceRuntime:
             if victim is None or not frontend.policy.remove(victim):
                 return
             frontend.removed += 1
+            distributed = getattr(frontend, "_distributed", None)
+            if distributed is not None:
+                distributed.on_external_removed(victim)
             st = self._state[victim.tid]
             now = self.sim.now
             self.shed_events += 1
@@ -616,7 +622,9 @@ class ResilienceRuntime:
             self._fail(st)
 
     def _pick_victim(self, frontend) -> Optional[Transaction]:
-        queued = list(frontend.policy)
+        # 2PC sibling branches are not admissions and carry no _TxState
+        # — the shed loop only ever evicts tracked logical work
+        queued = [tx for tx in frontend.policy if tx.tid in self._state]
         if not queued:
             return None
 

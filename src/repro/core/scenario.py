@@ -77,6 +77,8 @@ from repro.core.cluster import (
 )
 from repro.core.controller import (
     Baseline,
+    ClusterSloController,
+    ClusterSloReport,
     ControllerReport,
     ElasticCapacityController,
     ElasticReport,
@@ -84,6 +86,13 @@ from repro.core.controller import (
     PerClassSloController,
     SloReport,
     Thresholds,
+)
+from repro.core.distributed import (
+    DistributedSpec,
+    TwoPhaseCoordinator,
+    decode_distributed_spec,
+    distributed_field_errors,
+    encode_distributed_spec,
 )
 from repro.core.faults import (
     FaultInjector,
@@ -571,13 +580,74 @@ class ElasticMpl(ControlSpec):
 
 
 @dataclasses.dataclass(frozen=True)
+class ClusterSlo(ControlSpec):
+    """Hold the *cluster-wide* HIGH p95 under a target, maximize LOW work.
+
+    :class:`PerClassSlo` lifted to cluster scope: one
+    :class:`~repro.core.controller.ClusterSloController` feedback loop
+    observes the cluster collector and drives the *global* MPL split
+    (health-aware weights over
+    :meth:`~repro.core.cluster.ShardedExternalScheduler.set_global_mpl`)
+    — the lever a sharded deployment actually has, and the one that
+    must react to cross-shard 2PC contention, ``shard_health()``, and
+    breaker state.  Requires a sharded topology (``shards >= 2``,
+    no replicas) and HIGH-priority traffic.
+    """
+
+    high_p95_target_s: float = 0.5
+    initial_mpl: int = 16
+    window: int = 150
+    step: int = 2
+    max_mpl: int = 256
+    max_iterations: int = 30
+
+    def __post_init__(self) -> None:
+        if self.high_p95_target_s <= 0:
+            raise ValueError(
+                f"high_p95_target_s must be positive, got {self.high_p95_target_s!r}"
+            )
+        if self.initial_mpl < 1:
+            raise ValueError(f"initial_mpl must be >= 1, got {self.initial_mpl!r}")
+        if self.max_mpl < self.initial_mpl:
+            raise ValueError(
+                f"max_mpl {self.max_mpl!r} must be >= initial_mpl "
+                f"{self.initial_mpl!r}"
+            )
+        if self.window < 2:
+            raise ValueError(f"window must be >= 2, got {self.window!r}")
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step!r}")
+
+    def config_mpl(self) -> Optional[int]:
+        return self.initial_mpl
+
+    def apply(self, system, scenario):
+        if not isinstance(system, ClusteredSystem):
+            raise ValueError(
+                "ClusterSlo control needs a sharded topology (shards > 1)"
+            )
+        controller = ClusterSloController(
+            system,
+            target_p95_s=self.high_p95_target_s,
+            initial_mpl=self.initial_mpl,
+            window=self.window,
+            step=self.step,
+            max_mpl=self.max_mpl,
+            max_iterations=self.max_iterations,
+        )
+        return controller.tune()
+
+
+@dataclasses.dataclass(frozen=True)
 class ShardReports:
     """Per-shard controller reports from a sharded feedback run."""
 
     shards: Tuple[ControllerReport, ...]
 
 
-ControlReport = Union[ControllerReport, SloReport, ShardReports, ElasticReport]
+ControlReport = Union[
+    ControllerReport, SloReport, ShardReports, ElasticReport, ClusterSloReport
+]
 
 
 # -- the composed scenario -----------------------------------------------------
@@ -616,6 +686,9 @@ class ScenarioSpec:
     #: Optional resilience axis (PR 9: deadlines, retry/backoff,
     #: shedding, circuit breaking): hashed only when present.
     resilience: Optional[ResilienceSpec] = None
+    #: Optional distributed-transaction axis (cross-shard 2PC):
+    #: hashed only when present.
+    distributed: Optional[DistributedSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.workload, WorkloadRef):
@@ -654,6 +727,44 @@ class ScenarioSpec:
                 "FeedbackMpl on a sharded topology needs an explicit "
                 "initial_mpl (the queueing-model jump-start is single-engine)"
             )
+        if self.distributed is not None:
+            if not isinstance(self.distributed, DistributedSpec):
+                raise ValueError(
+                    f"distributed must be a DistributedSpec, got {self.distributed!r}"
+                )
+            if self.topology.shards < 2:
+                raise ValueError(
+                    "distributed transactions need a sharded topology "
+                    f"(shards >= 2, got {self.topology.shards})"
+                )
+            if self.topology.replicas_per_shard > 0:
+                raise ValueError(
+                    "the distributed axis needs replicas_per_shard == 0 "
+                    "(2PC branch completion events bypass replica groups)"
+                )
+            if self.distributed.fanout_k > self.topology.shards:
+                raise ValueError(
+                    f"fanout_k {self.distributed.fanout_k} cannot exceed "
+                    f"the topology's {self.topology.shards} shard(s)"
+                )
+        if isinstance(self.control, ClusterSlo):
+            if self.topology.shards < 2 or self.topology.replicas_per_shard > 0:
+                raise ValueError(
+                    "ClusterSlo control runs on a sharded topology "
+                    f"(shards >= 2, no replicas; got {self.topology.shards} "
+                    f"shard(s), {self.topology.replicas_per_shard} replica(s))"
+                )
+            if self.high_priority_fraction <= 0:
+                raise ValueError(
+                    "ClusterSlo control needs HIGH-priority traffic "
+                    "(high_priority_fraction > 0)"
+                )
+            if self.control.initial_mpl < self.topology.shards:
+                raise ValueError(
+                    f"ClusterSlo initial_mpl {self.control.initial_mpl} "
+                    f"cannot cover {self.topology.shards} shards "
+                    "(need >= 1 each)"
+                )
         if isinstance(self.control, PerClassSlo):
             if self.topology.shards != 1 or self.topology.replicas_per_shard > 0:
                 raise ValueError(
@@ -809,6 +920,8 @@ class ScenarioSpec:
             extra["faults"] = canonical_jsonable(self.faults)
         if self.resilience is not None:
             extra["resilience"] = canonical_jsonable(self.resilience)
+        if self.distributed is not None:
+            extra["distributed"] = canonical_jsonable(self.distributed)
         return self.build_config().fingerprint(**extra)
 
     def component_fingerprints(self) -> Dict[str, str]:
@@ -821,6 +934,7 @@ class ScenarioSpec:
             "measurement": component_fingerprint(self.measurement),
             "faults": component_fingerprint(self.faults),
             "resilience": component_fingerprint(self.resilience),
+            "distributed": component_fingerprint(self.distributed),
         }
 
     # -- JSON round-trip -----------------------------------------------------
@@ -841,6 +955,7 @@ class ScenarioSpec:
             "tag": self.tag,
             "faults": encode_fault_spec(self.faults),
             "resilience": encode_resilience_spec(self.resilience),
+            "distributed": encode_distributed_spec(self.distributed),
         }
 
     @classmethod
@@ -877,6 +992,8 @@ class ScenarioSpec:
             data["faults"] = decode_fault_spec(payload["faults"])
         if "resilience" in payload:
             data["resilience"] = decode_resilience_spec(payload["resilience"])
+        if "distributed" in payload:
+            data["distributed"] = decode_distributed_spec(payload["distributed"])
         for name in ("policy", "high_priority_fraction", "arrival_rate", "seed", "tag"):
             if name in payload:
                 data[name] = payload[name]
@@ -956,6 +1073,16 @@ class ScenarioSpec:
                 )
             else:
                 data["resilience"] = ResilienceSpec(**resilience_payload)
+        if payload.get("distributed") is not None:
+            distributed_payload = payload["distributed"]
+            field_errors = distributed_field_errors(distributed_payload)
+            if field_errors:
+                errors.extend(
+                    (f"/distributed{path}", message)
+                    for path, message in field_errors
+                )
+            else:
+                data["distributed"] = DistributedSpec(**distributed_payload)
         for name in ("policy", "high_priority_fraction", "arrival_rate", "seed", "tag"):
             if name in payload:
                 data[name] = payload[name]
@@ -995,6 +1122,7 @@ _CONTROL_TYPES: Dict[str, type] = {
     "feedback": FeedbackMpl,
     "per_class_slo": PerClassSlo,
     "elastic": ElasticMpl,
+    "cluster_slo": ClusterSlo,
 }
 
 
@@ -1148,6 +1276,14 @@ def _report_jsonable(report: Optional[ControlReport]) -> Optional[Dict[str, Any]
             for action in payload["actions"]
         ]
         return payload
+    if isinstance(report, ClusterSloReport):
+        payload["type"] = "cluster_slo"
+        payload["final_split"] = list(report.final_split)
+        payload["trajectory"] = [
+            {**row, "split": list(row["split"])}
+            for row in payload["trajectory"]
+        ]
+        return payload
     payload["type"] = (
         "per_class_slo" if isinstance(report, SloReport) else "feedback"
     )
@@ -1176,6 +1312,9 @@ class ScenarioOutcome:
     #: Per-shard health (clustered runs with faults and/or resilience):
     #: liveness, degrade factor, routing counters, breaker transitions.
     shard_health: Optional[List[Dict[str, Any]]] = None
+    #: 2PC accounting: cross-shard counts, commits/aborts by cause,
+    #: retries, atomicity self-checks (distributed runs only).
+    distributed: Optional[Dict[str, Any]] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
         return {
@@ -1189,6 +1328,7 @@ class ScenarioOutcome:
             "faults": self.faults,
             "resilience": self.resilience,
             "shard_health": self.shard_health,
+            "distributed": self.distributed,
         }
 
 
@@ -1309,6 +1449,13 @@ def run_scenario(spec: ScenarioSpec) -> Tuple[MeasuredSystem, ScenarioOutcome]:
         # and the measurement window see the same resilient system
         runtime = ResilienceRuntime(spec.resilience, seed=spec.seed)
         runtime.install(system)
+    coordinator = None
+    if spec.distributed is not None:
+        # after the resilience gate: a retried cross-shard transaction
+        # re-enters 2PC, and the 2PC outer event is what the gate's
+        # attempt accounting watches
+        coordinator = TwoPhaseCoordinator(spec.distributed, seed=spec.seed)
+        coordinator.install(system)
     report = spec.control.apply(system, spec)
     # the control phase's completions precede the measurement window;
     # both run paths land the window at exactly `transactions` records
@@ -1341,7 +1488,7 @@ def run_scenario(spec: ScenarioSpec) -> Tuple[MeasuredSystem, ScenarioOutcome]:
             )
     shard_health = None
     if isinstance(system, ClusteredSystem) and (
-        injector is not None or runtime is not None
+        injector is not None or runtime is not None or coordinator is not None
     ):
         shard_health = system.shard_health()
         if runtime is not None and runtime.breakers is not None:
@@ -1357,6 +1504,9 @@ def run_scenario(spec: ScenarioSpec) -> Tuple[MeasuredSystem, ScenarioOutcome]:
         faults=injector.applied_jsonable() if injector is not None else None,
         resilience=runtime.report_jsonable() if runtime is not None else None,
         shard_health=shard_health,
+        distributed=(
+            coordinator.report_jsonable() if coordinator is not None else None
+        ),
     )
     return system, outcome
 

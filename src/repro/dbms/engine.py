@@ -130,6 +130,9 @@ class DatabaseEngine:
         self._active: Dict[int, Process] = {}
         self.committed = 0
         self.restarts = 0
+        #: The installed 2PC coordinator (None outside distributed
+        #: scenarios — the default commit path is untouched).
+        self.two_phase = None
 
     # -- public API --------------------------------------------------------
 
@@ -165,8 +168,28 @@ class DatabaseEngine:
         process = self._active.get(tx.tid)
         if process is None or not process.is_alive:
             return False
+        if process.interrupt_pending:
+            # a racing tear-down (2PC prepare timeout vs resilience
+            # deadline at one instant) already threw; a second throw
+            # would land after the generator finished
+            return False
+        if self.two_phase is not None and self.two_phase.commit_pinned(tx):
+            # every participant prepared and the decision is commit:
+            # no external deadline may half-abort the atom
+            return False
         process.interrupt(DeadlineExceeded(f"tx {tx.tid} deadline expired"))
         return True
+
+    def abort_pending(self, tx: Transaction) -> bool:
+        """Whether ``tx`` has an interrupt thrown but not yet landed.
+
+        The 2PC coordinator consults this at the prepare point: a
+        branch whose tear-down is already in flight must not vote (the
+        interrupt would land *after* a commit decision and half-abort
+        the atom).
+        """
+        process = self._active.get(tx.tid)
+        return process is not None and process.interrupt_pending
 
     @property
     def disk_service_mean(self) -> float:
@@ -273,6 +296,13 @@ class DatabaseEngine:
                 yield submit(home, segment, priority)
         if tx.is_update:
             yield self.log.commit(priority)
+        if self.two_phase is not None:
+            # 2PC prepare point: the WAL force above doubles as the
+            # prepare log force; a branch parks here — locks held —
+            # until the coordinator decides commit
+            gate = self.two_phase.prepared(tx)
+            if gate is not None:
+                yield gate
         self.lockmgr.release_all(tx)
 
     def _effective_locks(self, tx: Transaction):

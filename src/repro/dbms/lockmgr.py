@@ -224,6 +224,16 @@ class LockManager(Station):
         lock = self._locks.get(item)
         return dict(lock.holders) if lock else {}
 
+    def held_by(self, tid: int) -> Set[int]:
+        """Snapshot of the items ``tid`` currently holds locks on.
+
+        Introspection for the 2PC invariant tests: a prepared branch
+        parked at its commit gate must still hold every lock it
+        acquired (prepare does not release under strict 2PL).
+        """
+        held = self._held.get(tid)
+        return set(held) if held else set()
+
     def queue_length(self, item: int) -> int:
         """Number of waiters queued on ``item``."""
         lock = self._locks.get(item)

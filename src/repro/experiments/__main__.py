@@ -64,6 +64,8 @@ _FIGURES: Dict[str, Callable] = {
     "ft": figures.fault_tolerance,
     "rf": figures.replica_fanout,
     "rs": figures.resilience,
+    "xs": figures.cross_shard,
+    "es": figures.elastic_capacity,
 }
 
 _TABLES: Dict[str, Callable[[], str]] = {

@@ -20,8 +20,10 @@ from repro.core.arrivals import (
 )
 from repro.core.faults import DegradeShard, FaultSpec, KillShard, RestoreShard
 from repro.core.cluster import READ_FANOUT_POLICIES
+from repro.core.distributed import DistributedSpec
 from repro.core.resilience import ResilienceSpec
 from repro.core.scenario import (
+    ClusterSlo,
     ElasticMpl,
     FeedbackMpl,
     MeasurementSpec,
@@ -32,6 +34,7 @@ from repro.core.scenario import (
     execute_scenario,
 )
 from repro.dbms.config import InternalPolicy
+from repro.dbms.transaction import Priority
 from repro.experiments import report
 from repro.experiments.parallel import DEFAULT_SEED, run_grid
 from repro.experiments.runner import scenario_for, spec_for, tune_setup
@@ -1363,6 +1366,320 @@ def resilience(fast: bool = True) -> List[FigureResult]:
     ]
 
 
+# -- cross-shard transactions: static split vs cluster SLO control -----------
+
+#: Shard counts of the xs sweep (fast mode drops the 8-shard column).
+XS_SHARD_COUNTS = (2, 4, 8)
+XS_SHARD_COUNTS_FAST = (2, 4)
+
+#: Cross-shard fraction axis; 0 means no distributed axis at all, so
+#: that column doubles as the bit-identity baseline.
+XS_FRACTIONS = (0.0, 0.05, 0.2, 0.5)
+XS_FRACTIONS_FAST = (0.0, 0.2, 0.5)
+
+#: Offered load per shard, tx/s — ~90% of setup 1's open capacity, so
+#: the admission level decides whether the SLO holds.
+XS_RATE_PER_SHARD = 58.0
+
+#: The static cell's per-shard MPL: the throughput-tuned single-shard
+#: choice.  Over-admitting is near-harmless at fraction 0 (priority
+#: scheduling still protects HIGH), but cross-shard branches hold
+#: their locks through the prepare gate for the *slowest* sibling's
+#: duration, and at this MPL those holds convoy — HIGH p95 drifts
+#: over target as the fraction grows.
+XS_MPL_PER_SHARD = 32
+
+#: 2PC shape: up to four participants, generous prepare budget (the
+#: pathology under study is lock convoying, not timeout storms).
+XS_FANOUT_K = 4
+XS_PREPARE_TIMEOUT_S = 2.0
+
+#: Priority mix and the cluster-wide SLO the controller must hold.
+XS_HIGH_FRACTION = 0.2
+XS_P95_TARGET_S = 0.5
+
+#: Completions measured per cell scale with the cluster so every shard
+#: count sees a comparable per-shard sample.  p95 over the HIGH class
+#: needs the head room: at XS_HIGH_FRACTION only one completion in
+#: five lands in the tail statistic's sample.
+XS_TXNS_PER_SHARD = 300
+XS_TXNS_PER_SHARD_FAST = 300
+
+#: ClusterSlo observation window (completions per probe) — wider than
+#: the controller default so each p95 probe sees enough HIGH samples.
+XS_SLO_WINDOW = 300
+
+#: ClusterSlo search ceiling (per shard).
+XS_SLO_MAX_MPL_PER_SHARD = 64
+
+#: The two control cells compared at every (shards, fraction) point.
+XS_CONTROLS = ("static", "slo")
+
+
+def _xs_spec(
+    shards: int,
+    fraction: float,
+    control: str,
+    transactions: int,
+    seed: int = DEFAULT_SEED,
+) -> ScenarioSpec:
+    """One xs cell: a hash-routed cluster at a fixed cross-shard mix."""
+    spec = scenario_for(
+        get_setup(1),
+        mpl=XS_MPL_PER_SHARD * shards,
+        transactions=transactions,
+        seed=seed,
+        arrival=OpenArrivals(rate=XS_RATE_PER_SHARD * shards),
+        shards=shards,
+        routing="hash",
+        policy="priority",
+        high_priority_fraction=XS_HIGH_FRACTION,
+        tag=f"xs-{shards}x-{control}-f{fraction:g}",
+    )
+    distributed = (
+        DistributedSpec(
+            cross_shard_fraction=fraction,
+            fanout_k=min(XS_FANOUT_K, shards),
+            prepare_timeout_s=XS_PREPARE_TIMEOUT_S,
+        )
+        if fraction > 0
+        else None
+    )
+    replacements: Dict[str, object] = {
+        "distributed": distributed,
+        "measurement": dataclasses.replace(
+            spec.measurement, metrics=("standard", "percentiles")
+        ),
+    }
+    if control == "slo":
+        replacements["control"] = ClusterSlo(
+            high_p95_target_s=XS_P95_TARGET_S,
+            initial_mpl=XS_MPL_PER_SHARD * shards,
+            window=XS_SLO_WINDOW,
+            max_mpl=XS_SLO_MAX_MPL_PER_SHARD * shards,
+        )
+    return dataclasses.replace(spec, **replacements)
+
+
+def cross_shard_grid(
+    fast: bool = True, mpls: Optional[Sequence[int]] = None
+) -> List[ScenarioSpec]:
+    """The scenario grid behind the cross-shard figure, as data.
+
+    Order: shard counts outermost, then control (static, slo), then
+    the fraction axis.  ``mpls`` is accepted for grid-builder signature
+    compatibility and ignored (the MPL policy *is* the experiment).
+    """
+    shard_counts = XS_SHARD_COUNTS_FAST if fast else XS_SHARD_COUNTS
+    fractions = XS_FRACTIONS_FAST if fast else XS_FRACTIONS
+    per_shard = XS_TXNS_PER_SHARD_FAST if fast else XS_TXNS_PER_SHARD
+    return [
+        _xs_spec(shards, fraction, control, per_shard * shards)
+        for shards in shard_counts
+        for control in XS_CONTROLS
+        for fraction in fractions
+    ]
+
+
+def cross_shard(fast: bool = True) -> List[FigureResult]:
+    """Cross-shard 2PC: static MPL split vs cluster-wide SLO control.
+
+    Sweeps the cross-shard transaction fraction at 2/4/8 shards under
+    simulated two-phase commit.  The static cells keep the
+    throughput-tuned per-shard MPL split; as the fraction grows, 2PC
+    branches hold locks through the prepare gate for the slowest
+    sibling and the over-admitted shards convoy, pushing cluster-wide
+    HIGH p95 past the target.  The ``ClusterSlo`` cells search the
+    global MPL budget (health-aware split) for the highest admission
+    that still meets the HIGH p95 target, holding the SLO at every
+    fraction while giving up little LOW throughput.
+
+    Runs serially through :func:`execute_scenario` — the slo cells
+    mutate controller state while tuning and every cell needs
+    percentile metrics, which the parallel runner's ``RunResult`` rows
+    do not carry.
+    """
+    shard_counts = XS_SHARD_COUNTS_FAST if fast else XS_SHARD_COUNTS
+    fractions = XS_FRACTIONS_FAST if fast else XS_FRACTIONS
+    specs = cross_shard_grid(fast)
+    runs = [execute_scenario(spec) for spec in specs]
+    high_key = str(int(Priority.HIGH))
+    p95_series: List[Series] = []
+    throughput_series: List[Series] = []
+    notes: List[str] = [
+        f"{XS_RATE_PER_SHARD:g} tx/s per shard offered, static MPL = "
+        f"{XS_MPL_PER_SHARD} x shards, fanout <= {XS_FANOUT_K}, prepare "
+        f"timeout {XS_PREPARE_TIMEOUT_S:g}s, HIGH p95 target "
+        f"{XS_P95_TARGET_S:g}s",
+    ]
+    cells = iter(runs)
+    for shards in shard_counts:
+        for control in XS_CONTROLS:
+            chunk = [next(cells) for _ in fractions]
+            label = f"{shards}sh {control}"
+            p95_series.append(Series(
+                label=label,
+                ys=tuple(
+                    (run.percentiles.get(high_key) or {}).get("p95", _NAN)
+                    for run in chunk
+                ),
+            ))
+            throughput_series.append(Series(
+                label=label,
+                ys=tuple(run.result.throughput for run in chunk),
+            ))
+            if control == "slo":
+                final_mpls = [
+                    str(getattr(run.control, "final_mpl", "?")) for run in chunk
+                ]
+                notes.append(
+                    f"{shards} shards: ClusterSlo final MPL by fraction = "
+                    + ", ".join(final_mpls)
+                )
+            aborts = sum(
+                (run.distributed or {}).get("aborts", 0) for run in chunk
+            )
+            if aborts:
+                notes.append(f"{label}: {aborts} 2PC aborts across the sweep")
+    return [
+        FigureResult(
+            figure="XS-a",
+            title="Cluster-wide HIGH p95 vs cross-shard fraction",
+            xlabel="cross-shard fraction",
+            xs=tuple(fractions),
+            series=tuple(p95_series),
+            notes=tuple(notes),
+        ),
+        FigureResult(
+            figure="XS-b",
+            title="Cluster throughput vs cross-shard fraction",
+            xlabel="cross-shard fraction",
+            xs=tuple(fractions),
+            series=tuple(throughput_series),
+            notes=(
+                "2PC splits a cross-shard transaction's demand across its "
+                "participants, so offered work is fraction-invariant — "
+                "throughput lost at high fraction is pure coordination "
+                "overhead (convoyed locks, parked MPL slots)",
+            ),
+        ),
+    ]
+
+
+# -- elastic capacity: static split vs ElasticMpl under skew and swings ------
+
+#: Shard count of the es cells (the skew/swing comparison point).
+ES_SHARDS = 4
+
+#: Per-shard MPL axis shared by the static and elastic cells.
+ES_MPLS = (2, 4, 8, 16)
+ES_MPLS_FAST = (2, 8)
+
+#: Arrival regimes: hash routing pins work to shards, so the steady
+#: (`po`) regime still carries binomial placement skew, and the
+#: sinusoidal (`tv`) regime adds cluster-wide load swings on top.
+ES_REGIMES = ("po", "tv")
+
+
+def _es_spec(
+    regime: str,
+    per_shard_mpl: int,
+    elastic: bool,
+    transactions: int,
+    seed: int = DEFAULT_SEED,
+) -> ScenarioSpec:
+    """One es cell: hash-routed cluster, static or elastic MPL split."""
+    spec = scenario_for(
+        get_setup(1),
+        mpl=per_shard_mpl * ES_SHARDS,
+        transactions=transactions,
+        seed=seed,
+        arrival=_sharded_arrival(regime, ES_SHARDS),
+        shards=ES_SHARDS,
+        routing="hash",
+        tag=f"es-{regime}-{'elastic' if elastic else 'static'}",
+    )
+    if elastic:
+        spec = dataclasses.replace(
+            spec,
+            control=ElasticMpl(mpl=per_shard_mpl * ES_SHARDS, interval_s=1.0),
+        )
+    return spec
+
+
+def elastic_grid(
+    fast: bool = True, mpls: Optional[Sequence[int]] = None
+) -> List[ScenarioSpec]:
+    """The scenario grid behind the elastic-capacity figure, as data.
+
+    Order: regime outermost, then control (static, elastic), then the
+    per-shard MPL axis.
+    """
+    if mpls is None:
+        mpls = ES_MPLS_FAST if fast else ES_MPLS
+    transactions = 250 if fast else 1200
+    return [
+        _es_spec(regime, mpl, elastic, transactions)
+        for regime in ES_REGIMES
+        for elastic in (False, True)
+        for mpl in mpls
+    ]
+
+
+def elastic_capacity(
+    fast: bool = True, mpls: Optional[Sequence[int]] = None
+) -> List[FigureResult]:
+    """Static MPL split vs ElasticMpl under hash skew and load swings.
+
+    Hash routing pins each transaction to its partition's shard, so
+    the per-shard load is skewed (binomial placement) and, in the
+    ``tv`` regime, also swings sinusoidally.  A static split gives
+    every shard the same admission budget regardless; ``ElasticMpl``
+    re-splits the same global budget toward loaded shards every
+    second.  Throughput and mean response time vs the per-shard MPL
+    axis compare the two under both regimes.
+    """
+    if mpls is None:
+        mpls = ES_MPLS_FAST if fast else ES_MPLS
+    runs = iter(run_grid(elastic_grid(fast, mpls)))
+    throughput_series: List[Series] = []
+    response_series: List[Series] = []
+    for regime in ES_REGIMES:
+        for control in ("static", "elastic"):
+            chunk = [next(runs) for _ in mpls]
+            label = f"{regime} {control}"
+            throughput_series.append(Series(
+                label=label, ys=tuple(r.throughput for r in chunk)
+            ))
+            response_series.append(Series(
+                label=label,
+                ys=tuple(r.mean_response_time for r in chunk),
+            ))
+    scale_note = (
+        f"{ES_SHARDS} shards, hash routing, "
+        f"{SHARD_RATE_PER_SHARD:g} tx/s per shard offered; elastic "
+        f"cells re-split the same global budget every 1s"
+    )
+    return [
+        FigureResult(
+            figure="ES-a",
+            title="Throughput vs per-shard MPL: static vs elastic split",
+            xlabel="per-shard MPL",
+            xs=tuple(float(m) for m in mpls),
+            series=tuple(throughput_series),
+            notes=(scale_note,),
+        ),
+        FigureResult(
+            figure="ES-b",
+            title="Mean response time vs per-shard MPL",
+            xlabel="per-shard MPL",
+            xs=tuple(float(m) for m in mpls),
+            series=tuple(response_series),
+            notes=(scale_note,),
+        ),
+    ]
+
+
 # -- declarative grids (for `repro.experiments bench` and CI) ----------------
 
 
@@ -1452,6 +1769,17 @@ GRID_DEFS: Dict[str, GridDef] = {
         mpls=(),
         panels=(),
         builder=resilience_grid,
+    ),
+    "xs": GridDef(
+        mpls=(),
+        panels=(),
+        builder=cross_shard_grid,
+    ),
+    "es": GridDef(
+        mpls=ES_MPLS,
+        panels=(),
+        fast_mpls=ES_MPLS_FAST,
+        builder=elastic_grid,
     ),
 }
 

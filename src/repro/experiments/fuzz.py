@@ -58,6 +58,7 @@ from repro.core.arrivals import (
     TraceArrivals,
 )
 from repro.core.cluster import ClusteredSystem
+from repro.core.distributed import COORDINATOR_POLICIES, DistributedSpec
 from repro.core.faults import DegradeShard, FaultEvent, FaultSpec, KillShard, RestoreShard
 from repro.core.resilience import GoodputStarved, SHED_POLICIES, ResilienceSpec
 from repro.core.scenario import (
@@ -116,7 +117,7 @@ class ScenarioWalker:
     """
 
     AXES = ("workload", "arrival", "topology", "control", "faults",
-            "resilience", "measurement", "mix")
+            "resilience", "distributed", "measurement", "mix")
 
     def __init__(
         self,
@@ -315,6 +316,23 @@ class ScenarioWalker:
             breaker_open_s=rng.choice((0.2, 0.5, 1.0)),
         )
 
+    def _sample_distributed(self) -> Optional[DistributedSpec]:
+        rng = self.rng
+        if rng.random() < 0.5:
+            return None
+        # abort_on_prepare_timeout stays True: a hung prepare would
+        # park MPL slots forever and stall the completion-counted
+        # window; the timeout-abort path is the escape hatch the walk
+        # relies on (and the goodput-starvation guard turns a
+        # pathological retry storm into a deterministic refusal)
+        return DistributedSpec(
+            cross_shard_fraction=rng.choice((0.05, 0.1, 0.2, 0.5, 1.0)),
+            fanout_k=rng.randrange(2, 5),
+            prepare_timeout_s=rng.choice((0.5, 1.0, 2.0, 5.0)),
+            coordinator=rng.choice(COORDINATOR_POLICIES),
+            abort_on_prepare_timeout=True,
+        )
+
     def _sample_measurement(self) -> MeasurementSpec:
         rng = self.rng
         metrics: Tuple[str, ...] = ("standard",)
@@ -351,6 +369,7 @@ class ScenarioWalker:
                 topology.shards, topology.replicas_per_shard
             ),
             "resilience": self._sample_resilience(),
+            "distributed": self._sample_distributed(),
             "measurement": self._sample_measurement(),
             "mix": self._sample_mix(),
         }
@@ -462,6 +481,19 @@ class ScenarioWalker:
                     resilience, queue_cap=None
                 )
 
+        distributed: Optional[DistributedSpec] = axes["distributed"]
+        if distributed is not None:
+            topology = axes["topology"]
+            if topology.shards < 2 or topology.replicas_per_shard > 0:
+                # 2PC needs >= 2 participant shards, and replica groups
+                # own their own commit story (the constructor rejects
+                # the combination)
+                axes["distributed"] = None
+            elif distributed.fanout_k > topology.shards:
+                axes["distributed"] = dataclasses.replace(
+                    distributed, fanout_k=topology.shards
+                )
+
         faults: Optional[FaultSpec] = axes["faults"]
         if faults is not None:
             if not clustered:
@@ -493,6 +525,7 @@ class ScenarioWalker:
             tag=f"fuzz-{self.steps}",
             faults=axes["faults"],
             resilience=axes["resilience"],
+            distributed=axes["distributed"],
         )
 
     def next_spec(self) -> ScenarioSpec:
@@ -521,6 +554,8 @@ class ScenarioWalker:
                     )
                 elif axis == "resilience":
                     self._axes["resilience"] = self._sample_resilience()
+                elif axis == "distributed":
+                    self._axes["distributed"] = self._sample_distributed()
                 elif axis == "measurement":
                     self._axes["measurement"] = self._sample_measurement()
                 else:
@@ -746,6 +781,38 @@ def oracle_disposition(ctx: OracleContext) -> None:
         )
 
 
+def oracle_atomicity(ctx: OracleContext) -> None:
+    """2PC atomicity: no cross-shard transaction half-commits.
+
+    The coordinator self-checks every decision (a branch finishing
+    against the decided verdict, a commit finishing with a non-committed
+    branch) into ``atomicity_violations``; the oracle also audits the
+    attempt ledger — every cross-shard transaction either committed
+    (and left the live table) or is still live, and every launched
+    attempt is settled or current.
+    """
+    coordinator = getattr(ctx.system, "distributed", None)
+    if coordinator is None:
+        return
+    report = coordinator.report_jsonable()
+    if report["atomicity_violations"]:
+        raise OracleFailure(
+            f"2PC atomicity violated: {report['atomicity_violations']}"
+        )
+    if report["commits"] + report["in_flight"] != report["cross_shard"]:
+        raise OracleFailure(
+            f"2PC ledger broken: commits {report['commits']} + in-flight "
+            f"{report['in_flight']} != cross-shard {report['cross_shard']}"
+        )
+    settled = report["commits"] + report["aborts"]
+    if not settled <= report["attempts"] <= settled + report["in_flight"]:
+        raise OracleFailure(
+            f"2PC attempts {report['attempts']} outside "
+            f"[{settled}, {settled + report['in_flight']}] "
+            f"(commits {report['commits']}, aborts {report['aborts']})"
+        )
+
+
 def oracle_replay(ctx: OracleContext) -> None:
     """A second run of the same spec must be bit-identical."""
     _, second = run_scenario(ctx.spec)
@@ -777,6 +844,7 @@ ORACLES: Dict[str, Callable[[OracleContext], None]] = {
     "conservation": oracle_conservation,
     "mpl-sanity": oracle_mpl_sanity,
     "disposition": oracle_disposition,
+    "atomicity": oracle_atomicity,
     "replay": oracle_replay,
     "jobs-invariance": oracle_jobs_invariance,
 }
@@ -888,6 +956,14 @@ def _shrink_candidates(spec: ScenarioSpec) -> List[ScenarioSpec]:
             push_resilience(jitter_fraction=0.0)
         if spec.resilience.high_deadline_s is not None:
             push_resilience(high_deadline_s=None)
+    if spec.distributed is not None:
+        push(distributed=None)
+        if spec.distributed.cross_shard_fraction > 0:
+            push(distributed=dataclasses.replace(
+                spec.distributed, cross_shard_fraction=0.0
+            ))
+        if spec.distributed.fanout_k > 2:
+            push(distributed=dataclasses.replace(spec.distributed, fanout_k=2))
     if spec.faults is not None:
         push(faults=None)
         if len(spec.faults.events) > 1:

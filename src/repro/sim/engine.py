@@ -628,7 +628,10 @@ class Process(Event):
     on each other.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_bound_resume", "name")
+    __slots__ = (
+        "_generator", "_waiting_on", "_bound_resume", "_interrupt_pending",
+        "name",
+    )
 
     def __init__(
         self,
@@ -641,6 +644,7 @@ class Process(Event):
             raise SimulationError("Process requires a generator")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        self._interrupt_pending = False
         # one bound method for the process's lifetime — registering a
         # waiter is a slot load instead of a method-object allocation
         self._bound_resume = self._resume
@@ -669,14 +673,28 @@ class Process(Event):
         if waiting_on is not None:
             waiting_on.remove_callback(self._bound_resume)
         self._waiting_on = None
+        self._interrupt_pending = True
         wakeup = Event(self.sim)
         wakeup._cb = self._bound_resume
         wakeup.fail(Interrupt(cause))
+
+    @property
+    def interrupt_pending(self) -> bool:
+        """An interrupt has been thrown but the process has not yet run.
+
+        Two tear-down paths can race at one instant (a 2PC prepare
+        timeout and a resilience deadline both aborting the same
+        branch); the second caller must not interrupt again — the
+        wakeup it would schedule lands after the first interrupt has
+        already finished the generator.
+        """
+        return self._interrupt_pending
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome (the only
         stepping path: resumes, failures and interrupts all land here)."""
         self._waiting_on = None
+        self._interrupt_pending = False
         value = event._value
         try:
             if event._ok or not isinstance(value, BaseException):

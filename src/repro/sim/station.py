@@ -426,6 +426,24 @@ class RouterStation(Station):
         self._record(tx.priority)
         return self.targets[index].submit(tx)
 
+    def submit_to(self, tx, index: int) -> Event:
+        """Route ``tx`` to a specific shard (2PC participant placement).
+
+        The coordinator's deterministic participant pick is
+        authoritative, so no policy choice and no breaker consultation
+        — but a dead or parked shard still falls back cyclically, so a
+        fault timeline never strands a branch.
+        """
+        if tx.tid in self._routed_tids:
+            raise ValueError(f"transaction {tx.tid} was already routed")
+        self._check_index(index)
+        if not self.routable(index):
+            index = self._fallback(index)
+        self._routed_tids.add(tx.tid)
+        self.routed_by_shard[index] += 1
+        self._record(tx.priority)
+        return self.targets[index].submit(tx)
+
     def _breaker_admit(self, index: int) -> int:
         """Health-aware admission: the first routable shard whose
         breaker admits, scanning cyclically from the policy's choice.

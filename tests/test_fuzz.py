@@ -76,13 +76,28 @@ class TestWalkerValidity:
 
     def test_walk_exercises_the_resilience_axis(self):
         resilient = [
-            spec for spec in ScenarioWalker(seed=1).specs(40)
+            spec for spec in ScenarioWalker(seed=4).specs(40)
             if spec.resilience is not None
         ]
         assert len(resilient) >= 4
         # the interesting sub-mechanisms each show up in the walk
         assert any(s.resilience.max_attempts > 0 for s in resilient)
         assert any(s.resilience.breaker_enabled for s in resilient)
+
+    def test_walk_exercises_the_distributed_axis(self):
+        distributed = [
+            spec for spec in ScenarioWalker(seed=4).specs(40)
+            if spec.distributed is not None
+        ]
+        assert len(distributed) >= 4
+        # reconciliation keeps the 2PC shape runnable: enough shards
+        # for the fan-out, no replica groups, timeout-abort armed
+        for spec in distributed:
+            assert spec.topology.shards >= 2
+            assert spec.topology.replicas_per_shard == 0
+            assert 2 <= spec.distributed.fanout_k <= spec.topology.shards
+            assert spec.distributed.abort_on_prepare_timeout
+        assert any(s.distributed.fanout_k > 2 for s in distributed)
 
     def test_resilient_specs_respect_the_cross_field_rules(self):
         # _reconcile must deliver constructor-valid combinations: the
@@ -148,6 +163,7 @@ class TestOracles:
             "conservation",
             "mpl-sanity",
             "disposition",
+            "atomicity",
             "replay",
             "jobs-invariance",
         }
